@@ -1,0 +1,321 @@
+// Package mass_bench holds the benchmark harness that regenerates every
+// table and figure of the paper (see DESIGN.md §4 for the index) as Go
+// benchmarks, plus the performance studies: analyzer scalability (X6) and
+// crawler worker scaling (X7), and micro-benchmarks of the hot paths.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Each Benchmark{Table1,Figure1..Figure4} executes the corresponding
+// Experiment* function; the first iteration also prints the regenerated
+// table so `go test -bench` output doubles as an experiment report.
+package mass_bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/blogserver"
+	"mass/internal/classify"
+	"mass/internal/crawler"
+	"mass/internal/experiments"
+	"mass/internal/graph"
+	"mass/internal/influence"
+	"mass/internal/linkrank"
+	"mass/internal/synth"
+	"mass/internal/xmlstore"
+)
+
+// benchConfig sizes the benchmark workloads; moderate so the full suite
+// runs in minutes. Use cmd/mass-bench -scale paper for full-size runs.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 2010, Bloggers: 200, Posts: 1600}
+}
+
+// report prints an experiment's formatted table once per process.
+func report(format func()) {
+	if os.Getenv("MASS_BENCH_QUIET") != "" {
+		return
+	}
+	format()
+}
+
+// BenchmarkTable1 regenerates Table I (the user study: General vs Live
+// Index vs Domain Specific over Travel/Art/Sports).
+func BenchmarkTable1(b *testing.B) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentTable1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		once.Do(func() {
+			report(func() { b.Log("\n"); r.Format(os.Stderr) })
+		})
+		if !r.ShapeHolds() {
+			b.Fatal("Table I shape regression: Domain Specific no longer wins")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 walkthrough (the sample
+// influence graph with hand-checkable scores).
+func BenchmarkFigure1(b *testing.B) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentFigure1(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		once.Do(func() { report(func() { r.Format(os.Stderr) }) })
+		if r.Top3[0] != "Amery" {
+			b.Fatal("Figure 1 regression: Amery no longer tops the sample graph")
+		}
+	}
+}
+
+// BenchmarkFigure2Pipeline regenerates the Figure 2 architecture run:
+// crawl over HTTP → XML storage → reload → analyze → consistency check.
+func BenchmarkFigure2Pipeline(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Bloggers, cfg.Posts = 80, 500
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentFigure2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once.Do(func() { report(func() { r.Format(os.Stderr) }) })
+		if !r.ReloadConsistent {
+			b.Fatal("Figure 2 regression: reload changed the analysis")
+		}
+	}
+}
+
+// BenchmarkFigure3Advert regenerates the Figure 3 advertisement flows.
+func BenchmarkFigure3Advert(b *testing.B) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentFigure3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		once.Do(func() { report(func() { r.Format(os.Stderr) }) })
+		if r.TargetsOnPoint == 0 {
+			b.Fatal("Figure 3 regression: ad targets lost domain fit")
+		}
+	}
+}
+
+// BenchmarkFigure4Viz regenerates the Figure 4 post-reply network export.
+func BenchmarkFigure4Viz(b *testing.B) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentFigure4(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		once.Do(func() { report(func() { r.Format(os.Stderr) }) })
+		if !r.XMLRoundTripOK {
+			b.Fatal("Figure 4 regression: XML round trip broken")
+		}
+	}
+}
+
+// BenchmarkAlphaSweep regenerates the X1 parameter sweep.
+func BenchmarkAlphaSweep(b *testing.B) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentAlphaSweep(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		once.Do(func() { report(func() { r.Format(os.Stderr) }) })
+	}
+}
+
+// BenchmarkFacetAblation regenerates the X3 facet ablation.
+func BenchmarkFacetAblation(b *testing.B) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExperimentFacetAblation(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		once.Do(func() { report(func() { r.Format(os.Stderr) }) })
+	}
+}
+
+// --------------------------------------------------------------- X6 / X7
+
+// BenchmarkScalabilityAnalyze times a full analysis at increasing corpus
+// sizes (X6).
+func BenchmarkScalabilityAnalyze(b *testing.B) {
+	for _, n := range []int{100, 200, 400, 800} {
+		corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: n, Posts: n * 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 30, 2011))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("bloggers=%d", n), func(b *testing.B) {
+			an, err := influence.NewAnalyzer(influence.Config{}, nb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.Analyze(corpus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrawlerWorkers measures crawl throughput as the worker pool
+// grows (X7) — the paper's "multi-thread crawling technique".
+func BenchmarkCrawlerWorkers(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 150, Posts: 800})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := blogserver.New(corpus)
+	// A real blog service answers in milliseconds, not microseconds; the
+	// latency is what the worker pool overlaps.
+	srv.Latency = 5 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	seed := corpus.BloggerIDs()[0]
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cr := crawler.New(crawler.Config{Workers: workers, Radius: 100}, nil)
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cr.Crawl(context.Background(), ts.URL, seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------- micro-benches
+
+// BenchmarkInfluenceSolver isolates the fixed-point solver on a fixed
+// corpus (no classification).
+func BenchmarkInfluenceSolver(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 400, Posts: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := influence.NewAnalyzer(influence.Config{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Analyze(corpus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverWorkers measures the parallel sweep option of the
+// analyzer (post scoring + classification fan out across workers).
+func BenchmarkSolverWorkers(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 400, Posts: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 30, 2011))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			an, err := influence.NewAnalyzer(influence.Config{Workers: workers}, nb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.Analyze(corpus); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPageRank isolates the GL authority computation.
+func BenchmarkPageRank(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 1000, Posts: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.New()
+	for _, id := range corpus.BloggerIDs() {
+		g.AddNode(string(id))
+	}
+	for _, l := range corpus.Links {
+		g.AddEdge(string(l.From), string(l.To))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := linkrank.PageRank(g, linkrank.Options{})
+		if !r.Converged {
+			b.Fatal("PageRank did not converge")
+		}
+	}
+}
+
+// BenchmarkClassifier isolates naive Bayes classification of post bodies.
+func BenchmarkClassifier(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 100, Posts: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 30, 2011))
+	if err != nil {
+		b.Fatal(err)
+	}
+	posts := corpus.PostIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := corpus.Posts[posts[i%len(posts)]]
+		nb.Classify(p.Body)
+	}
+}
+
+// BenchmarkXMLRoundTrip isolates corpus persistence.
+func BenchmarkXMLRoundTrip(b *testing.B) {
+	corpus := blog.Figure1Corpus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sink countingWriter
+		if err := writeCorpus(&sink, corpus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type countingWriter int
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// writeCorpus adapts xmlstore.Write for the persistence benchmark.
+func writeCorpus(w *countingWriter, c *blog.Corpus) error {
+	return xmlstore.Write(w, c)
+}

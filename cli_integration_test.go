@@ -1,0 +1,111 @@
+package mass_bench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the command-line tools and runs the full user
+// workflow: synthesize a corpus, rank it, answer both recommendation
+// scenarios, and export a visualization. This is the README's tour,
+// executed for real.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := t.TempDir()
+	work := t.TempDir()
+	build := func(name string) string {
+		t.Helper()
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	run := func(bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = work
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", bin, args, err, b)
+		}
+		return string(b)
+	}
+
+	synthBin := build("mass-synth")
+	rankBin := build("mass-rank")
+	recBin := build("mass-recommend")
+	vizBin := build("mass-viz")
+
+	corpus := filepath.Join(work, "corpus.xml")
+	out := run(synthBin, "-seed", "5", "-bloggers", "80", "-posts", "500", "-out", corpus)
+	if !strings.Contains(out, "bloggers=80") {
+		t.Fatalf("mass-synth output: %s", out)
+	}
+	if _, err := os.Stat(strings.TrimSuffix(corpus, ".xml") + ".truth.json"); err != nil {
+		t.Fatalf("ground truth JSON missing: %v", err)
+	}
+
+	out = run(rankBin, "-corpus", corpus, "-domain", "Sports", "-k", "3", "-baselines")
+	for _, want := range []string{"GENERAL top-3", "Sports top-3", "Live Index top-3", "iFinder top-3", "converged=true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mass-rank output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = run(recBin, "-corpus", corpus, "-ad", "basketball sneakers for the marathon", "-k", "2")
+	if !strings.Contains(out, "advertisement (text mode)") || !strings.Contains(out, "1. blogger") {
+		t.Fatalf("mass-recommend output:\n%s", out)
+	}
+	out = run(recBin, "-corpus", corpus, "-profile", "I follow hospital medicine research", "-k", "2")
+	if !strings.Contains(out, "personalized (profile)") {
+		t.Fatalf("mass-recommend profile output:\n%s", out)
+	}
+
+	svg := filepath.Join(work, "net.svg")
+	xmlOut := filepath.Join(work, "net.xml")
+	out = run(vizBin, "-corpus", corpus, "-radius", "1", "-svg", svg, "-xml", xmlOut)
+	if !strings.Contains(out, "nodes") {
+		t.Fatalf("mass-viz output:\n%s", out)
+	}
+	for _, p := range []string{svg, xmlOut} {
+		info, err := os.Stat(p)
+		if err != nil || info.Size() == 0 {
+			t.Fatalf("viz export %s missing or empty: %v", p, err)
+		}
+	}
+}
+
+// TestCLICrawl runs the self-serving crawler binary end to end.
+func TestCLICrawl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "mass-crawl")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/mass-crawl")
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, b)
+	}
+	work := t.TempDir()
+	out := filepath.Join(work, "crawl.xml")
+	run := exec.Command(bin, "-selfserve", "-bloggers", "40", "-posts", "200",
+		"-radius", "3", "-workers", "4", "-out", out)
+	b, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mass-crawl: %v\n%s", err, b)
+	}
+	if !strings.Contains(string(b), "crawl: fetched=") {
+		t.Fatalf("output:\n%s", b)
+	}
+	info, err := os.Stat(out)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("crawl output missing: %v", err)
+	}
+}

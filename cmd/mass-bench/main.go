@@ -1,0 +1,217 @@
+// Command mass-bench regenerates the paper's evaluation artifacts — Table I
+// and Figures 1–4 — plus the extended experiments (parameter sweeps, facet
+// ablation, classifier comparison, convergence, scalability) and prints
+// them as tables. Use -scale paper for the full-size corpus (~3000
+// bloggers / ~40000 posts, as crawled in the paper).
+//
+// Usage:
+//
+//	mass-bench -exp all
+//	mass-bench -exp table1 -scale paper
+//	mass-bench -exp ablation -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mass/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mass-bench: ")
+	var (
+		exp      = flag.String("exp", "all", "experiment: all|table1|fig1|fig2|fig3|fig4|alpha|beta|ablation|classifier|convergence|scalability")
+		scale    = flag.String("scale", "default", "workload scale: default|paper|small")
+		seed     = flag.Int64("seed", 0, "override workload seed (0 = experiment default)")
+		bloggers = flag.Int("bloggers", 0, "override corpus size")
+		posts    = flag.Int("posts", 0, "override post count")
+		csvDir   = flag.String("csv", "", "also write series data as CSV files into this directory")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeCSV := func(name string, write func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	cfg := experiments.Config{}
+	switch *scale {
+	case "paper":
+		cfg = experiments.PaperScale()
+	case "small":
+		cfg = experiments.Config{Bloggers: 120, Posts: 900}
+	case "default":
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *bloggers != 0 {
+		cfg.Bloggers = *bloggers
+	}
+	if *posts != 0 {
+		cfg.Posts = *posts
+	}
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			r, err := experiments.ExperimentTable1(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			writeCSV("table1", r.WriteCSV)
+			return nil
+		},
+		"fig1": func() error {
+			r, err := experiments.ExperimentFigure1(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			return nil
+		},
+		"fig2": func() error {
+			r, err := experiments.ExperimentFigure2(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			return nil
+		},
+		"fig3": func() error {
+			r, err := experiments.ExperimentFigure3(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			return nil
+		},
+		"fig4": func() error {
+			r, err := experiments.ExperimentFigure4(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			return nil
+		},
+		"alpha": func() error {
+			r, err := experiments.ExperimentAlphaSweep(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			writeCSV("alpha", r.WriteCSV)
+			return nil
+		},
+		"beta": func() error {
+			r, err := experiments.ExperimentBetaSweep(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			writeCSV("beta", r.WriteCSV)
+			return nil
+		},
+		"ablation": func() error {
+			r, err := experiments.ExperimentFacetAblation(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			writeCSV("ablation", r.WriteCSV)
+			return nil
+		},
+		"classifier": func() error {
+			r, err := experiments.ExperimentClassifier(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			return nil
+		},
+		"convergence": func() error {
+			r, err := experiments.ExperimentConvergence(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			return nil
+		},
+		"scalability": func() error {
+			r, err := experiments.ExperimentScalability(cfg, nil)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			writeCSV("scalability", r.WriteCSV)
+			return nil
+		},
+		"overlap": func() error {
+			r, err := experiments.ExperimentSystemOverlap(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			writeCSV("overlap", r.WriteCSV)
+			return nil
+		},
+		"extensions": func() error {
+			r, err := experiments.ExperimentExtensions(cfg)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			return nil
+		},
+	}
+	order := []string{"table1", "fig1", "fig2", "fig3", "fig4",
+		"alpha", "beta", "ablation", "classifier", "convergence",
+		"scalability", "overlap", "extensions"}
+
+	var todo []string
+	if *exp == "all" {
+		todo = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			if _, ok := runners[name]; !ok {
+				log.Fatalf("unknown experiment %q", name)
+			}
+			todo = append(todo, name)
+		}
+	}
+	for i, name := range todo {
+		if i > 0 {
+			fmt.Println("\n" + strings.Repeat("=", 78) + "\n")
+		}
+		if err := runners[name](); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+}

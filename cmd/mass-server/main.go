@@ -1,0 +1,47 @@
+// Command mass-server runs the MASS User Interface Module as an HTTP/JSON
+// service over an analyzed corpus: rankings, both recommendation
+// scenarios, per-blogger influence details and post-reply network exports
+// (see internal/api for the endpoint list).
+//
+// Usage:
+//
+//	mass-server -corpus crawl.xml -addr :8080
+//	curl localhost:8080/api/top?k=3
+//	curl -X POST localhost:8080/api/advert -d '{"text":"new basketball sneakers","k":3}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"mass/internal/api"
+	"mass/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mass-server: ")
+	var (
+		corpusPath = flag.String("corpus", "corpus.xml", "XML corpus snapshot")
+		addr       = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	t0 := time.Now()
+	sys, err := core.LoadFile(*corpusPath, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %s in %s (%s)\n", *corpusPath, time.Since(t0).Round(time.Millisecond), sys.Stats())
+	fmt.Printf("listening on %s\n", *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.New(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,69 @@
+// Personalized recommendation (Scenario 2): recommend influential bloggers
+// to users based on their interests.
+//
+// Three flows from the demo: (1) a new user supplies a free-text profile
+// and MASS extracts their domains; (2) an existing blogger asks for the
+// top bloggers of a chosen domain; (3) a member restricts the search to
+// their own friend network, like the demo's seed+radius option.
+//
+// Run: go run ./examples/personalized
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mass/internal/core"
+	"mass/internal/lexicon"
+	"mass/internal/synth"
+)
+
+func main() {
+	corpus, gt, err := synth.Generate(synth.Config{Seed: 123, Bloggers: 200, Posts: 1600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.FromCorpus(corpus, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== MASS personalized recommendation (Scenario 2) ===")
+	fmt.Printf("blogosphere: %s\n\n", sys.Stats())
+
+	// Flow 1: new user with a free-text profile.
+	profile := "I spend my weekends painting watercolor landscapes, visiting " +
+		"the gallery and sketching portraits in my studio."
+	fmt.Printf("new user profile:\n  %q\n\n", profile)
+	fmt.Println("recommended influential bloggers:")
+	for i, r := range sys.RecommendForProfile(profile, 3) {
+		fmt.Printf("  %d. %-12s score=%.4f  (true primary domain: %s)\n",
+			i+1, r.Blogger, r.Score, gt.PrimaryDomain[r.Blogger])
+	}
+
+	// Flow 2: an existing member gets recommendations from their stored
+	// profile, never including themselves.
+	member := sys.TopInfluential(1)[0]
+	fmt.Printf("\nexisting member %s (profile: %q):\n",
+		member, corpus.Bloggers[member].Profile)
+	recs, err := sys.RecommendForBlogger(member, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range recs {
+		fmt.Printf("  %d. %-12s score=%.4f\n", i+1, r.Blogger, r.Score)
+	}
+
+	// Flow 3: restrict to the member's friend network (radius 2).
+	fmt.Printf("\n%s's friend network only (radius 2, %s):\n", member, lexicon.Travel)
+	friendRecs, err := sys.RecommendInFriends(member, lexicon.Travel, 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(friendRecs) == 0 {
+		fmt.Println("  (no travel bloggers within the friend network)")
+	}
+	for i, r := range friendRecs {
+		fmt.Printf("  %d. %-12s score=%.4f\n", i+1, r.Blogger, r.Score)
+	}
+}

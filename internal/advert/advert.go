@@ -1,0 +1,142 @@
+// Package advert implements Application Scenario 1 of MASS: business
+// advertisement targeting. Given an advertisement text, the interest
+// vector iv(a_l) is mined with the post classifier; a blogger's relevance
+// to the ad is the dot product of their domain influence vector Inf(b,IV)
+// with iv(a_l), and the top-k bloggers by that product are recommended
+// (paper §II, "Scenario 1: Business Advertisement", and the Fig. 3 input
+// panel, which also allows picking domains from a dropdown instead).
+package advert
+
+import (
+	"fmt"
+	"sort"
+
+	"mass/internal/blog"
+	"mass/internal/classify"
+	"mass/internal/influence"
+	"mass/internal/rank"
+)
+
+// Recommender ranks bloggers for advertisements against a completed
+// influence analysis.
+type Recommender struct {
+	classifier classify.Classifier
+	result     *influence.Result
+}
+
+// New builds a recommender. classifier mines interest vectors from ad
+// text; result supplies the per-domain influence scores.
+func New(classifier classify.Classifier, result *influence.Result) (*Recommender, error) {
+	if classifier == nil {
+		return nil, fmt.Errorf("advert: classifier required")
+	}
+	if result == nil {
+		return nil, fmt.Errorf("advert: influence result required")
+	}
+	return &Recommender{classifier: classifier, result: result}, nil
+}
+
+// Recommendation is one ranked blogger with the ad-relevance score
+// Inf(b, a_l).
+type Recommendation struct {
+	Blogger blog.BloggerID
+	Score   float64
+}
+
+// InterestVector mines iv(a_l) from the advertisement text: the
+// classifier posterior over domains.
+func (r *Recommender) InterestVector(adText string) map[string]float64 {
+	return r.classifier.Classify(adText)
+}
+
+// ForText recommends the top-k bloggers for an advertisement given as free
+// text (Fig. 3, option 1).
+func (r *Recommender) ForText(adText string, k int) []Recommendation {
+	return r.rankByVector(r.InterestVector(adText), k)
+}
+
+// ForDomains recommends the top-k bloggers for explicitly chosen domains
+// (Fig. 3, option 2: "the business partner selects one or more relevant
+// domains from a dropdown list"). Each selected domain gets equal weight.
+// With no domains selected, the paper shows the general ranking instead.
+func (r *Recommender) ForDomains(domains []string, k int) []Recommendation {
+	if len(domains) == 0 {
+		return r.general(k)
+	}
+	iv := make(map[string]float64, len(domains))
+	w := 1 / float64(len(domains))
+	for _, d := range domains {
+		iv[d] += w
+	}
+	return r.rankByVector(iv, k)
+}
+
+// general returns the top-k by overall influence Inf(b) — the fallback when
+// no domain is selected.
+func (r *Recommender) general(k int) []Recommendation {
+	scores := make(map[string]float64, len(r.result.BloggerScores))
+	for b, s := range r.result.BloggerScores {
+		scores[string(b)] = s
+	}
+	return toRecommendations(rank.TopK(scores, k))
+}
+
+// rankByVector computes Inf(b, a_l) = Inf(b,IV) · iv(a_l) for every
+// blogger and returns the top k.
+func (r *Recommender) rankByVector(iv map[string]float64, k int) []Recommendation {
+	scores := make(map[string]float64, len(r.result.DomainScores))
+	for b, dv := range r.result.DomainScores {
+		var dot float64
+		for d, w := range iv {
+			dot += dv[d] * w
+		}
+		scores[string(b)] = dot
+	}
+	return toRecommendations(rank.TopK(scores, k))
+}
+
+// Score returns a single blogger's relevance to an ad text.
+func (r *Recommender) Score(b blog.BloggerID, adText string) float64 {
+	iv := r.InterestVector(adText)
+	var dot float64
+	for d, w := range iv {
+		dot += r.result.DomainScores[b][d] * w
+	}
+	return dot
+}
+
+// TopDomains reports the n most probable domains of an ad text, for
+// display alongside recommendations.
+func (r *Recommender) TopDomains(adText string, n int) []string {
+	iv := r.InterestVector(adText)
+	type dw struct {
+		d string
+		w float64
+	}
+	all := make([]dw, 0, len(iv))
+	for d, w := range iv {
+		all = append(all, dw{d, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].d < all[j].d
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].d
+	}
+	return out
+}
+
+func toRecommendations(entries []rank.Entry) []Recommendation {
+	out := make([]Recommendation, len(entries))
+	for i, e := range entries {
+		out[i] = Recommendation{Blogger: blog.BloggerID(e.ID), Score: e.Score}
+	}
+	return out
+}

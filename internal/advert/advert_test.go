@@ -1,0 +1,146 @@
+package advert
+
+import (
+	"testing"
+
+	"mass/internal/blog"
+	"mass/internal/classify"
+	"mass/internal/influence"
+	"mass/internal/lexicon"
+	"mass/internal/synth"
+)
+
+type fixture struct {
+	rec    *Recommender
+	corpus *blog.Corpus
+	gt     *synth.GroundTruth
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	c, gt, err := synth.Generate(synth.Config{Seed: 21, Bloggers: 80, Posts: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 20, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := influence.NewAnalyzer(influence.Config{}, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := an.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(nb, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{rec: rec, corpus: c, gt: gt}
+}
+
+const sportsAd = "New basketball sneakers for marathon training and the " +
+	"olympics season, built for every athlete and coach in the league"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, &influence.Result{}); err == nil {
+		t.Fatal("nil classifier must be rejected")
+	}
+	nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nb, nil); err == nil {
+		t.Fatal("nil result must be rejected")
+	}
+}
+
+func TestInterestVectorFindsSports(t *testing.T) {
+	f := setup(t)
+	iv := f.rec.InterestVector(sportsAd)
+	top, p := classify.Top(iv)
+	if top != lexicon.Sports {
+		t.Fatalf("ad classified as %s (p=%.2f), want Sports", top, p)
+	}
+	if got := f.rec.TopDomains(sportsAd, 1); len(got) != 1 || got[0] != lexicon.Sports {
+		t.Fatalf("TopDomains = %v", got)
+	}
+}
+
+func TestForTextRanksSportsBloggers(t *testing.T) {
+	f := setup(t)
+	recs := f.rec.ForText(sportsAd, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	// Scores must be descending.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Score > recs[i-1].Score {
+			t.Fatalf("scores not descending: %v", recs)
+		}
+	}
+	// The top recommendation should be a blogger who actually writes
+	// Sports (planted expertise in Sports > 0).
+	topB := recs[0].Blogger
+	if f.gt.Expertise[topB][lexicon.Sports] == 0 {
+		t.Fatalf("top ad target %s has no planted Sports expertise (primary=%s)",
+			topB, f.gt.PrimaryDomain[topB])
+	}
+}
+
+func TestForDomainsExplicit(t *testing.T) {
+	f := setup(t)
+	recs := f.rec.ForDomains([]string{lexicon.Sports}, 3)
+	if len(recs) != 3 {
+		t.Fatalf("want 3 recs, got %d", len(recs))
+	}
+	// Must match ForText-free ranking of the raw domain scores.
+	direct := f.rec.rankByVector(map[string]float64{lexicon.Sports: 1}, 3)
+	for i := range recs {
+		if recs[i].Blogger != direct[i].Blogger {
+			t.Fatalf("dropdown ranking differs from direct domain ranking")
+		}
+	}
+}
+
+func TestForDomainsEmptyFallsBackToGeneral(t *testing.T) {
+	f := setup(t)
+	recs := f.rec.ForDomains(nil, 3)
+	if len(recs) != 3 {
+		t.Fatalf("want 3 general recs, got %d", len(recs))
+	}
+	// Must equal the overall influence top-3.
+	want := f.rec.result.TopKGeneral(3)
+	for i := range recs {
+		if recs[i].Blogger != want[i] {
+			t.Fatalf("general fallback mismatch: %v vs %v", recs, want)
+		}
+	}
+}
+
+func TestMultiDomainSplitsWeight(t *testing.T) {
+	f := setup(t)
+	both := f.rec.ForDomains([]string{lexicon.Sports, lexicon.Art}, 10)
+	if len(both) == 0 {
+		t.Fatal("no recs")
+	}
+	// Every score must equal (sports + art)/2 for that blogger.
+	for _, r := range both {
+		dv := f.rec.result.DomainVector(r.Blogger)
+		want := (dv[lexicon.Sports] + dv[lexicon.Art]) / 2
+		if diff := r.Score - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("multi-domain score %v != %v", r.Score, want)
+		}
+	}
+}
+
+func TestScoreConsistentWithForText(t *testing.T) {
+	f := setup(t)
+	recs := f.rec.ForText(sportsAd, 1)
+	got := f.rec.Score(recs[0].Blogger, sportsAd)
+	if diff := got - recs[0].Score; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Score = %v, ForText said %v", got, recs[0].Score)
+	}
+}

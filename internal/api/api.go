@@ -1,0 +1,305 @@
+// Package api exposes the MASS User Interface Module as an HTTP/JSON
+// service: the ranking, recommendation and visualization operations the
+// demo's GUI offered, as endpoints a web front end (or curl) can call.
+//
+// Endpoints:
+//
+//	GET /api/stats                         corpus summary
+//	GET /api/top?k=3                       general top-k
+//	GET /api/domains                       available domains
+//	GET /api/domain/{name}?k=3             domain top-k
+//	GET /api/blogger/{id}                  one blogger's influence detail (the pop-up window)
+//	POST /api/advert {"text":...,"k":3}    Scenario 1, text mode
+//	POST /api/advert {"domains":[...]}     Scenario 1, dropdown mode
+//	POST /api/profile {"text":...,"k":3}   Scenario 2, new-user profile
+//	GET /api/network/{id}?radius=2         Fig. 4 network as JSON
+//	GET /api/network/{id}.svg?radius=2     Fig. 4 network as SVG
+//	GET /api/trends?buckets=8&emerging=5   domain trends + emerging bloggers
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mass/internal/blog"
+	"mass/internal/core"
+	"mass/internal/lexicon"
+	"mass/internal/trend"
+)
+
+// Server wraps an analyzed System as an http.Handler.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+}
+
+// New builds the API server over an analyzed system.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/stats", s.handleStats)
+	s.mux.HandleFunc("/api/top", s.handleTop)
+	s.mux.HandleFunc("/api/domains", s.handleDomains)
+	s.mux.HandleFunc("/api/domain/", s.handleDomain)
+	s.mux.HandleFunc("/api/blogger/", s.handleBlogger)
+	s.mux.HandleFunc("/api/advert", s.handleAdvert)
+	s.mux.HandleFunc("/api/profile", s.handleProfile)
+	s.mux.HandleFunc("/api/network/", s.handleNetwork)
+	s.mux.HandleFunc("/api/trends", s.handleTrends)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// scored is a generic scored-blogger JSON row.
+type scored struct {
+	Blogger blog.BloggerID `json:"blogger"`
+	Score   float64        `json:"score"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	writeJSON(w, s.sys.Stats())
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	k := intParam(r, "k", 3)
+	res := s.sys.Result()
+	out := make([]scored, 0, k)
+	for _, b := range s.sys.TopInfluential(k) {
+		out = append(out, scored{Blogger: b, Score: res.BloggerScores[b]})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	writeJSON(w, lexicon.Domains())
+}
+
+func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	domain := strings.TrimPrefix(r.URL.Path, "/api/domain/")
+	if domain == "" {
+		http.Error(w, "missing domain", http.StatusBadRequest)
+		return
+	}
+	k := intParam(r, "k", 3)
+	res := s.sys.Result()
+	out := make([]scored, 0, k)
+	for _, b := range s.sys.TopInDomain(domain, k) {
+		out = append(out, scored{Blogger: b, Score: res.DomainScores[b][domain]})
+	}
+	writeJSON(w, out)
+}
+
+// bloggerDetail is the demo's pop-up window: total influence, domain
+// scores, post count and top posts.
+type bloggerDetail struct {
+	ID           blog.BloggerID     `json:"id"`
+	Name         string             `json:"name"`
+	Influence    float64            `json:"influence"`
+	AP           float64            `json:"ap"`
+	GL           float64            `json:"gl"`
+	DomainScores map[string]float64 `json:"domainScores"`
+	Posts        int                `json:"posts"`
+	TopPosts     []topPost          `json:"topPosts"`
+}
+
+type topPost struct {
+	ID    blog.PostID `json:"id"`
+	Title string      `json:"title"`
+	Score float64     `json:"score"`
+}
+
+func (s *Server) handleBlogger(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	id := blog.BloggerID(strings.TrimPrefix(r.URL.Path, "/api/blogger/"))
+	c := s.sys.Corpus()
+	b, ok := c.Bloggers[id]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown blogger %q", id), http.StatusNotFound)
+		return
+	}
+	res := s.sys.Result()
+	detail := bloggerDetail{
+		ID:           id,
+		Name:         b.Name,
+		Influence:    res.BloggerScores[id],
+		AP:           res.AP[id],
+		GL:           res.GL[id],
+		DomainScores: res.DomainVector(id),
+		Posts:        len(c.PostsBy(id)),
+	}
+	posts := append([]blog.PostID(nil), c.PostsBy(id)...)
+	sort.Slice(posts, func(i, j int) bool {
+		si, sj := res.PostScores[posts[i]], res.PostScores[posts[j]]
+		if si != sj {
+			return si > sj
+		}
+		return posts[i] < posts[j]
+	})
+	if len(posts) > 3 {
+		posts = posts[:3]
+	}
+	for _, pid := range posts {
+		detail.TopPosts = append(detail.TopPosts, topPost{
+			ID: pid, Title: c.Posts[pid].Title, Score: res.PostScores[pid],
+		})
+	}
+	writeJSON(w, detail)
+}
+
+// advertRequest is the Scenario 1 payload: text or explicit domains.
+type advertRequest struct {
+	Text    string   `json:"text"`
+	Domains []string `json:"domains"`
+	K       int      `json:"k"`
+}
+
+func (s *Server) handleAdvert(w http.ResponseWriter, r *http.Request) {
+	var req advertRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	if req.Text == "" && len(req.Domains) == 0 {
+		http.Error(w, "provide text or domains", http.StatusBadRequest)
+		return
+	}
+	var out []scored
+	if req.Text != "" {
+		for _, rec := range s.sys.AdvertiseText(req.Text, req.K) {
+			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+		}
+	} else {
+		for _, rec := range s.sys.AdvertiseDomains(req.Domains, req.K) {
+			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+		}
+	}
+	writeJSON(w, out)
+}
+
+// profileRequest is the Scenario 2 payload.
+type profileRequest struct {
+	Text string `json:"text"`
+	K    int    `json:"k"`
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	var req profileRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	if req.Text == "" {
+		http.Error(w, "provide profile text", http.StatusBadRequest)
+		return
+	}
+	var out []scored
+	for _, rec := range s.sys.RecommendForProfile(req.Text, req.K) {
+		out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/network/")
+	svg := strings.HasSuffix(rest, ".svg")
+	id := blog.BloggerID(strings.TrimSuffix(rest, ".svg"))
+	radius := intParam(r, "radius", 2)
+	net, err := s.sys.Network(id, radius, 1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if svg {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		if err := net.WriteSVG(w, 1000, 800); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	writeJSON(w, net)
+}
+
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	buckets := intParam(r, "buckets", 8)
+	rep, err := trend.Analyze(s.sys.Corpus(), s.sys.Result(), trend.Config{
+		Buckets:     buckets,
+		TopEmerging: intParam(r, "emerging", 5),
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func decodePost(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func methodNotAllowed(w http.ResponseWriter) {
+	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}

@@ -1,0 +1,89 @@
+package blog
+
+import "time"
+
+// Figure1Corpus builds the exact sample influence graph from the paper's
+// Figure 1: nine bloggers (Amery, Bob, Cary, Dolly, Eddie, Helen, Jane,
+// Leo, Michael) and four posts. Amery writes post1 (CS, commented on by
+// Bob and Cary) and post2 (Econ, commented on by Cary); Helen writes
+// post3 (CS) and Michael writes post4 (CS) to populate the rest of the
+// figure's network. The remaining bloggers comment and link to give the
+// authority graph shape shown in the figure.
+//
+// This corpus is the canonical hand-checkable fixture: unit tests verify
+// the analyzer's scores on it against manual computation, and
+// examples/quickstart walks through it.
+func Figure1Corpus() *Corpus {
+	c := NewCorpus()
+	t0 := time.Date(2009, 6, 1, 12, 0, 0, 0, time.UTC)
+	names := []string{"Amery", "Bob", "Cary", "Dolly", "Eddie", "Helen", "Jane", "Leo", "Michael"}
+	for _, n := range names {
+		must(c.AddBlogger(&Blogger{ID: BloggerID(n), Name: n}))
+	}
+
+	must(c.AddPost(&Post{
+		ID: "post1", Author: "Amery", Title: "Programming skills",
+		Body: "Some thoughts on programming skills in computer science: " +
+			"write clean code, test the algorithm, profile the software, " +
+			"and keep the compiler happy. Debugging a database server " +
+			"teaches more than any textbook.",
+		Posted:     t0,
+		TrueDomain: "Computer",
+		Comments: []Comment{
+			{Commenter: "Bob", Text: "I agree, great post on programming.", Posted: t0.Add(time.Hour)},
+			{Commenter: "Cary", Text: "Excellent insight, I support this view of software.", Posted: t0.Add(2 * time.Hour)},
+		},
+	}))
+	must(c.AddPost(&Post{
+		ID: "post2", Author: "Amery", Title: "Economic depression",
+		Body: "The recent economic depression and possible trends in the " +
+			"next couple of months: the market is weak, the bank interest " +
+			"rate falls, inflation cools, and the stock exchange stays " +
+			"volatile while investment hesitates.",
+		Posted:     t0.Add(24 * time.Hour),
+		TrueDomain: "Economics",
+		Comments: []Comment{
+			{Commenter: "Cary", Text: "I disagree, this reading of the economy is wrong.", Posted: t0.Add(26 * time.Hour)},
+		},
+	}))
+	must(c.AddPost(&Post{
+		ID: "post3", Author: "Helen", Title: "Learning to code",
+		Body: "A short note about my first computer program: the code " +
+			"compiled, the algorithm ran, and the laptop survived.",
+		Posted:     t0.Add(48 * time.Hour),
+		TrueDomain: "Computer",
+		Comments: []Comment{
+			{Commenter: "Jane", Text: "Nice work, I like it.", Posted: t0.Add(49 * time.Hour)},
+			{Commenter: "Eddie", Text: "Helpful for beginners, thanks.", Posted: t0.Add(50 * time.Hour)},
+		},
+	}))
+	must(c.AddPost(&Post{
+		ID: "post4", Author: "Michael", Title: "Kernel hacking",
+		Body: "Notes on kernel hacking with a debugger: the processor " +
+			"stalls, the memory leaks, and the thread scheduler wins.",
+		Posted:     t0.Add(72 * time.Hour),
+		TrueDomain: "Computer",
+		Comments: []Comment{
+			{Commenter: "Leo", Text: "Impressive, I support this.", Posted: t0.Add(73 * time.Hour)},
+			{Commenter: "Dolly", Text: "Boring and useless, I disagree.", Posted: t0.Add(74 * time.Hour)},
+		},
+	}))
+
+	// Hyperlinks: readers who find a blog interesting link to it. Amery is
+	// the figure's hub; Helen and Michael get some authority too.
+	links := [][2]BloggerID{
+		{"Bob", "Amery"}, {"Cary", "Amery"}, {"Dolly", "Amery"},
+		{"Eddie", "Helen"}, {"Jane", "Helen"},
+		{"Leo", "Michael"}, {"Helen", "Amery"}, {"Michael", "Amery"},
+	}
+	for _, l := range links {
+		must(c.AddLink(l[0], l[1]))
+	}
+	return c
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

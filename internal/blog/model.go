@@ -1,0 +1,247 @@
+// Package blog defines the data model of the blogosphere MASS analyzes:
+// bloggers, posts, comments, and hyperlinks between blogs, assembled into a
+// Corpus with the derived indexes the influence analyzer needs (per-blogger
+// posts, per-commenter totals, link adjacency).
+//
+// The model mirrors the paper's §II: a set of bloggers with their posts,
+// the comments on the posts and the corresponding commenters, plus the
+// external-link network that feeds the General-Links (GL) authority score.
+package blog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// BloggerID identifies a blogger uniquely within a corpus.
+type BloggerID string
+
+// PostID identifies a post uniquely within a corpus.
+type PostID string
+
+// Comment is one comment left by Commenter on the enclosing post. Sentiment
+// is not stored here; the comment analyzer derives it from Text.
+type Comment struct {
+	Commenter BloggerID `xml:"commenter,attr"`
+	Text      string    `xml:"text"`
+	Posted    time.Time `xml:"posted,attr"`
+}
+
+// Post is a single blog post by Author. Comments are in arrival order.
+type Post struct {
+	ID       PostID    `xml:"id,attr"`
+	Author   BloggerID `xml:"author,attr"`
+	Title    string    `xml:"title"`
+	Body     string    `xml:"body"`
+	Posted   time.Time `xml:"posted,attr"`
+	Comments []Comment `xml:"comments>comment"`
+	// Tags are the author's folksonomy labels on the post; tag-based
+	// social interest discovery (paper reference [6]) mines interest
+	// groups from them.
+	Tags []string `xml:"tags>tag,omitempty"`
+	// TrueDomain is the generator's planted ground-truth domain. Empty for
+	// real crawls; used only for evaluation, never by the analyzer.
+	TrueDomain string `xml:"trueDomain,attr,omitempty"`
+}
+
+// Blogger is one member of the blogosphere. Profile is free text (interests,
+// bio) used by the personalized-recommendation scenario.
+type Blogger struct {
+	ID      BloggerID `xml:"id,attr"`
+	Name    string    `xml:"name"`
+	Profile string    `xml:"profile"`
+	// Friends is the blogger's declared friend list (demo §IV: crawling may
+	// be restricted to a friend network).
+	Friends []BloggerID `xml:"friends>friend"`
+}
+
+// Link is a hyperlink from one blogger's space to another's ("when a person
+// finds a blog interesting, s/he may directly add a link to it"). These
+// links form the authority (GL) graph.
+type Link struct {
+	From BloggerID `xml:"from,attr"`
+	To   BloggerID `xml:"to,attr"`
+}
+
+// Corpus is a complete blogosphere snapshot plus derived indexes. Build the
+// indexes with Reindex after bulk mutation; the constructors and AddX
+// helpers keep them current automatically.
+type Corpus struct {
+	Bloggers map[BloggerID]*Blogger
+	Posts    map[PostID]*Post
+	Links    []Link
+
+	postsByAuthor map[BloggerID][]PostID
+	totalComments map[BloggerID]int // TC(bj) in Eq.3
+	outLinks      map[BloggerID][]BloggerID
+	inLinks       map[BloggerID][]BloggerID
+}
+
+// NewCorpus returns an empty corpus with initialized maps.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		Bloggers:      map[BloggerID]*Blogger{},
+		Posts:         map[PostID]*Post{},
+		postsByAuthor: map[BloggerID][]PostID{},
+		totalComments: map[BloggerID]int{},
+		outLinks:      map[BloggerID][]BloggerID{},
+		inLinks:       map[BloggerID][]BloggerID{},
+	}
+}
+
+// AddBlogger inserts b. It returns an error on duplicate or empty ID.
+func (c *Corpus) AddBlogger(b *Blogger) error {
+	if b == nil || b.ID == "" {
+		return fmt.Errorf("blog: blogger must have a non-empty ID")
+	}
+	if _, dup := c.Bloggers[b.ID]; dup {
+		return fmt.Errorf("blog: duplicate blogger %q", b.ID)
+	}
+	c.Bloggers[b.ID] = b
+	return nil
+}
+
+// AddPost inserts p and updates the author and commenter indexes. The
+// author and every commenter must already exist in the corpus.
+func (c *Corpus) AddPost(p *Post) error {
+	if p == nil || p.ID == "" {
+		return fmt.Errorf("blog: post must have a non-empty ID")
+	}
+	if _, dup := c.Posts[p.ID]; dup {
+		return fmt.Errorf("blog: duplicate post %q", p.ID)
+	}
+	if _, ok := c.Bloggers[p.Author]; !ok {
+		return fmt.Errorf("blog: post %q has unknown author %q", p.ID, p.Author)
+	}
+	for i, cm := range p.Comments {
+		if _, ok := c.Bloggers[cm.Commenter]; !ok {
+			return fmt.Errorf("blog: post %q comment %d has unknown commenter %q", p.ID, i, cm.Commenter)
+		}
+	}
+	c.Posts[p.ID] = p
+	c.postsByAuthor[p.Author] = append(c.postsByAuthor[p.Author], p.ID)
+	for _, cm := range p.Comments {
+		c.totalComments[cm.Commenter]++
+	}
+	return nil
+}
+
+// AddLink records a hyperlink between two existing bloggers. Self-links are
+// rejected: a link to one's own space carries no authority signal.
+func (c *Corpus) AddLink(from, to BloggerID) error {
+	if from == to {
+		return fmt.Errorf("blog: self-link %q rejected", from)
+	}
+	if _, ok := c.Bloggers[from]; !ok {
+		return fmt.Errorf("blog: link from unknown blogger %q", from)
+	}
+	if _, ok := c.Bloggers[to]; !ok {
+		return fmt.Errorf("blog: link to unknown blogger %q", to)
+	}
+	c.Links = append(c.Links, Link{From: from, To: to})
+	c.outLinks[from] = append(c.outLinks[from], to)
+	c.inLinks[to] = append(c.inLinks[to], from)
+	return nil
+}
+
+// Reindex rebuilds all derived indexes from Bloggers, Posts and Links.
+// Call it after deserializing or bulk-editing a corpus.
+func (c *Corpus) Reindex() {
+	c.postsByAuthor = map[BloggerID][]PostID{}
+	c.totalComments = map[BloggerID]int{}
+	c.outLinks = map[BloggerID][]BloggerID{}
+	c.inLinks = map[BloggerID][]BloggerID{}
+	ids := make([]string, 0, len(c.Posts))
+	for id := range c.Posts {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := c.Posts[PostID(id)]
+		c.postsByAuthor[p.Author] = append(c.postsByAuthor[p.Author], p.ID)
+		for _, cm := range p.Comments {
+			c.totalComments[cm.Commenter]++
+		}
+	}
+	for _, l := range c.Links {
+		c.outLinks[l.From] = append(c.outLinks[l.From], l.To)
+		c.inLinks[l.To] = append(c.inLinks[l.To], l.From)
+	}
+}
+
+// PostsBy returns the IDs of all posts authored by b, in insertion order
+// (or sorted order after Reindex).
+func (c *Corpus) PostsBy(b BloggerID) []PostID { return c.postsByAuthor[b] }
+
+// TotalComments returns TC(b): the total number of comments blogger b has
+// left on any post in the corpus.
+func (c *Corpus) TotalComments(b BloggerID) int { return c.totalComments[b] }
+
+// OutLinks returns the bloggers b links to.
+func (c *Corpus) OutLinks(b BloggerID) []BloggerID { return c.outLinks[b] }
+
+// InLinks returns the bloggers linking to b.
+func (c *Corpus) InLinks(b BloggerID) []BloggerID { return c.inLinks[b] }
+
+// BloggerIDs returns all blogger IDs in sorted order, for deterministic
+// iteration.
+func (c *Corpus) BloggerIDs() []BloggerID {
+	ids := make([]BloggerID, 0, len(c.Bloggers))
+	for id := range c.Bloggers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// PostIDs returns all post IDs in sorted order.
+func (c *Corpus) PostIDs() []PostID {
+	ids := make([]PostID, 0, len(c.Posts))
+	for id := range c.Posts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Validate checks referential integrity of the whole corpus: every post
+// author, commenter, link endpoint and friend must exist, and IDs must be
+// non-empty. It returns the first problem found.
+func (c *Corpus) Validate() error {
+	for id, b := range c.Bloggers {
+		if id == "" || b == nil || b.ID != id {
+			return fmt.Errorf("blog: blogger map entry %q inconsistent", id)
+		}
+		for _, f := range b.Friends {
+			if _, ok := c.Bloggers[f]; !ok {
+				return fmt.Errorf("blog: blogger %q has unknown friend %q", id, f)
+			}
+		}
+	}
+	for id, p := range c.Posts {
+		if id == "" || p == nil || p.ID != id {
+			return fmt.Errorf("blog: post map entry %q inconsistent", id)
+		}
+		if _, ok := c.Bloggers[p.Author]; !ok {
+			return fmt.Errorf("blog: post %q has unknown author %q", id, p.Author)
+		}
+		for i, cm := range p.Comments {
+			if _, ok := c.Bloggers[cm.Commenter]; !ok {
+				return fmt.Errorf("blog: post %q comment %d unknown commenter %q", id, i, cm.Commenter)
+			}
+		}
+	}
+	for _, l := range c.Links {
+		if _, ok := c.Bloggers[l.From]; !ok {
+			return fmt.Errorf("blog: link from unknown blogger %q", l.From)
+		}
+		if _, ok := c.Bloggers[l.To]; !ok {
+			return fmt.Errorf("blog: link to unknown blogger %q", l.To)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("blog: self-link on %q", l.From)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package blog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func twoBloggerCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c := NewCorpus()
+	if err := c.AddBlogger(&Blogger{ID: "a", Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddBlogger(&Blogger{ID: "b", Name: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAddBloggerValidation(t *testing.T) {
+	c := NewCorpus()
+	if err := c.AddBlogger(&Blogger{ID: ""}); err == nil {
+		t.Fatal("empty ID must be rejected")
+	}
+	if err := c.AddBlogger(nil); err == nil {
+		t.Fatal("nil blogger must be rejected")
+	}
+	if err := c.AddBlogger(&Blogger{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddBlogger(&Blogger{ID: "a"}); err == nil {
+		t.Fatal("duplicate ID must be rejected")
+	}
+}
+
+func TestAddPostIndexes(t *testing.T) {
+	c := twoBloggerCorpus(t)
+	p := &Post{ID: "p1", Author: "a", Body: "hello world",
+		Comments: []Comment{{Commenter: "b", Text: "nice"}, {Commenter: "b", Text: "again"}}}
+	if err := c.AddPost(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PostsBy("a"); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("PostsBy(a) = %v", got)
+	}
+	if got := c.TotalComments("b"); got != 2 {
+		t.Fatalf("TotalComments(b) = %d, want 2", got)
+	}
+	if got := c.TotalComments("a"); got != 0 {
+		t.Fatalf("TotalComments(a) = %d, want 0", got)
+	}
+}
+
+func TestAddPostValidation(t *testing.T) {
+	c := twoBloggerCorpus(t)
+	if err := c.AddPost(&Post{ID: "", Author: "a"}); err == nil {
+		t.Fatal("empty post ID must be rejected")
+	}
+	if err := c.AddPost(&Post{ID: "p", Author: "ghost"}); err == nil {
+		t.Fatal("unknown author must be rejected")
+	}
+	if err := c.AddPost(&Post{ID: "p", Author: "a",
+		Comments: []Comment{{Commenter: "ghost"}}}); err == nil {
+		t.Fatal("unknown commenter must be rejected")
+	}
+	if err := c.AddPost(&Post{ID: "p", Author: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPost(&Post{ID: "p", Author: "b"}); err == nil {
+		t.Fatal("duplicate post ID must be rejected")
+	}
+}
+
+func TestAddLink(t *testing.T) {
+	c := twoBloggerCorpus(t)
+	if err := c.AddLink("a", "a"); err == nil {
+		t.Fatal("self-link must be rejected")
+	}
+	if err := c.AddLink("a", "ghost"); err == nil {
+		t.Fatal("link to unknown blogger must be rejected")
+	}
+	if err := c.AddLink("ghost", "a"); err == nil {
+		t.Fatal("link from unknown blogger must be rejected")
+	}
+	if err := c.AddLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OutLinks("a"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("OutLinks(a) = %v", got)
+	}
+	if got := c.InLinks("b"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("InLinks(b) = %v", got)
+	}
+}
+
+func TestReindexMatchesIncremental(t *testing.T) {
+	c := twoBloggerCorpus(t)
+	if err := c.AddPost(&Post{ID: "p1", Author: "a",
+		Comments: []Comment{{Commenter: "b", Text: "x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	beforePosts := c.PostsBy("a")
+	beforeTC := c.TotalComments("b")
+	c.Reindex()
+	if got := c.PostsBy("a"); len(got) != len(beforePosts) || got[0] != beforePosts[0] {
+		t.Fatalf("Reindex changed PostsBy: %v vs %v", got, beforePosts)
+	}
+	if got := c.TotalComments("b"); got != beforeTC {
+		t.Fatalf("Reindex changed TotalComments: %d vs %d", got, beforeTC)
+	}
+	if got := c.InLinks("b"); len(got) != 1 {
+		t.Fatalf("Reindex lost links: %v", got)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	c := NewCorpus()
+	for _, id := range []string{"zed", "alpha", "mid"} {
+		if err := c.AddBlogger(&Blogger{ID: BloggerID(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := c.BloggerIDs()
+	if ids[0] != "alpha" || ids[2] != "zed" {
+		t.Fatalf("BloggerIDs not sorted: %v", ids)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := Figure1Corpus()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Figure1Corpus must validate: %v", err)
+	}
+	// Corrupt: friend pointing nowhere.
+	c.Bloggers["Amery"].Friends = []BloggerID{"nobody"}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "friend") {
+		t.Fatalf("expected friend validation error, got %v", err)
+	}
+	c.Bloggers["Amery"].Friends = nil
+
+	// Corrupt: dangling link.
+	c.Links = append(c.Links, Link{From: "Amery", To: "nobody"})
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected link validation error")
+	}
+	c.Links = c.Links[:len(c.Links)-1]
+
+	// Corrupt: post with unknown author.
+	c.Posts["bad"] = &Post{ID: "bad", Author: "nobody"}
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected author validation error")
+	}
+	delete(c.Posts, "bad")
+
+	// Corrupt: mismatched map key.
+	c.Posts["post9"] = &Post{ID: "postX", Author: "Amery"}
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected map-key mismatch error")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	c := Figure1Corpus()
+	if len(c.Bloggers) != 9 {
+		t.Fatalf("Figure 1 has 9 bloggers, got %d", len(c.Bloggers))
+	}
+	if len(c.Posts) != 4 {
+		t.Fatalf("Figure 1 has 4 posts, got %d", len(c.Posts))
+	}
+	// Amery has post1 (2 comments: Bob, Cary) and post2 (1 comment: Cary).
+	ps := c.PostsBy("Amery")
+	if len(ps) != 2 {
+		t.Fatalf("Amery must have 2 posts, got %v", ps)
+	}
+	if got := c.TotalComments("Cary"); got != 2 {
+		t.Fatalf("TC(Cary) = %d, want 2", got)
+	}
+	if got := c.TotalComments("Bob"); got != 1 {
+		t.Fatalf("TC(Bob) = %d, want 1", got)
+	}
+	if got := len(c.InLinks("Amery")); got != 5 {
+		t.Fatalf("Amery in-links = %d, want 5", got)
+	}
+	if c.Posts["post1"].TrueDomain != "Computer" || c.Posts["post2"].TrueDomain != "Economics" {
+		t.Fatal("Figure 1 planted domains wrong")
+	}
+}
+
+func TestCommentEdges(t *testing.T) {
+	c := Figure1Corpus()
+	edges := CommentEdges(c)
+	var caryAmery *CommentEdge
+	for i := range edges {
+		if edges[i].Commenter == "Cary" && edges[i].Author == "Amery" {
+			caryAmery = &edges[i]
+		}
+	}
+	if caryAmery == nil || caryAmery.Count != 2 {
+		t.Fatalf("Cary→Amery edge = %+v, want count 2", caryAmery)
+	}
+	// Determinism: sorted by (commenter, author).
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a.Commenter > b.Commenter || (a.Commenter == b.Commenter && a.Author >= b.Author) {
+			t.Fatalf("edges not sorted at %d: %+v %+v", i, a, b)
+		}
+	}
+}
+
+func TestNeighborhoodRadius(t *testing.T) {
+	c := Figure1Corpus()
+	n0 := Neighborhood(c, "Amery", 0)
+	if len(n0) != 1 || n0["Amery"] != 0 {
+		t.Fatalf("radius 0 = %v", n0)
+	}
+	n1 := Neighborhood(c, "Amery", 1)
+	// Direct: commenters Bob, Cary; linkers Bob, Cary, Dolly, Helen, Michael.
+	for _, id := range []BloggerID{"Bob", "Cary", "Dolly", "Helen", "Michael"} {
+		if n1[id] != 1 {
+			t.Fatalf("expected %s at distance 1, got %v", id, n1)
+		}
+	}
+	if _, in := n1["Jane"]; in {
+		t.Fatal("Jane is 2 hops away, must not be in radius 1")
+	}
+	n2 := Neighborhood(c, "Amery", 2)
+	if n2["Jane"] != 2 || n2["Eddie"] != 2 || n2["Leo"] != 2 {
+		t.Fatalf("radius 2 = %v", n2)
+	}
+	if got := Neighborhood(c, "ghost", 3); len(got) != 0 {
+		t.Fatalf("unknown seed must return empty, got %v", got)
+	}
+}
+
+func TestSubcorpus(t *testing.T) {
+	c := Figure1Corpus()
+	members := Neighborhood(c, "Helen", 1) // Helen, Eddie, Jane, Amery
+	sub := Subcorpus(c, members)
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subcorpus invalid: %v", err)
+	}
+	if _, ok := sub.Bloggers["Helen"]; !ok {
+		t.Fatal("Helen missing from subcorpus")
+	}
+	if _, ok := sub.Bloggers["Leo"]; ok {
+		t.Fatal("Leo must not be in Helen's radius-1 subcorpus")
+	}
+	// post3 by Helen survives with both comments (Jane, Eddie in members).
+	p3, ok := sub.Posts["post3"]
+	if !ok || len(p3.Comments) != 2 {
+		t.Fatalf("post3 in subcorpus = %+v", p3)
+	}
+	// post1 by Amery survives, but only comments from members remain.
+	if p1, ok := sub.Posts["post1"]; ok {
+		for _, cm := range p1.Comments {
+			if _, in := members[cm.Commenter]; !in {
+				t.Fatalf("non-member comment leaked: %v", cm.Commenter)
+			}
+		}
+	}
+	// Links with one endpoint outside are dropped.
+	for _, l := range sub.Links {
+		if _, in := members[l.From]; !in {
+			t.Fatalf("link from non-member %v", l)
+		}
+		if _, in := members[l.To]; !in {
+			t.Fatalf("link to non-member %v", l)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := Figure1Corpus()
+	wc := func(s string) int { return len(strings.Fields(s)) }
+	st := ComputeStats(c, wc)
+	if st.Bloggers != 9 || st.Posts != 4 || st.Comments != 7 || st.Links != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxPostsPerUser != 2 {
+		t.Fatalf("MaxPostsPerUser = %d, want 2 (Amery)", st.MaxPostsPerUser)
+	}
+	if st.MaxCommentsMade != 2 {
+		t.Fatalf("MaxCommentsMade = %d, want 2 (Cary)", st.MaxCommentsMade)
+	}
+	if st.MaxInLinks != 5 {
+		t.Fatalf("MaxInLinks = %d, want 5 (Amery)", st.MaxInLinks)
+	}
+	if st.AvgPostLenWords <= 0 {
+		t.Fatal("AvgPostLenWords must be positive")
+	}
+	if !strings.Contains(st.String(), "bloggers=9") {
+		t.Fatalf("Stats.String() = %q", st.String())
+	}
+}
+
+func TestStatsEmptyCorpus(t *testing.T) {
+	st := ComputeStats(NewCorpus(), func(string) int { return 0 })
+	if st.Posts != 0 || st.AvgPostLenWords != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestCommentTimestampsPreserved(t *testing.T) {
+	c := Figure1Corpus()
+	p := c.Posts["post1"]
+	if p.Comments[0].Posted.IsZero() || !p.Comments[1].Posted.After(p.Comments[0].Posted) {
+		t.Fatal("comment timestamps must be set and ordered")
+	}
+	if p.Posted.Equal(time.Time{}) {
+		t.Fatal("post timestamp must be set")
+	}
+}

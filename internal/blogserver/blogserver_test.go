@@ -1,0 +1,123 @@
+package blogserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mass/internal/blog"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(blog.Figure1Corpus())
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestIndexListsAllBloggers(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/spaces")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	lines := strings.Fields(body)
+	if len(lines) != 9 {
+		t.Fatalf("index lists %d bloggers, want 9", len(lines))
+	}
+	if !strings.Contains(body, "Amery") {
+		t.Fatal("Amery missing from index")
+	}
+}
+
+func TestSpacePageRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := get(t, ts.URL+"/space/Amery")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	page, err := ParsePage([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Blogger.ID != "Amery" {
+		t.Fatalf("page blogger = %s", page.Blogger.ID)
+	}
+	if len(page.Posts) != 2 {
+		t.Fatalf("Amery page has %d posts, want 2", len(page.Posts))
+	}
+	if len(page.Posts[0].Comments)+len(page.Posts[1].Comments) != 3 {
+		t.Fatal("Amery's comments missing")
+	}
+	if len(page.Links) != 0 {
+		t.Fatalf("Amery has no out-links, got %v", page.Links)
+	}
+	if len(page.Linkbacks) != 5 {
+		t.Fatalf("Amery has 5 linkbacks, got %v", page.Linkbacks)
+	}
+	// Bob links to Amery.
+	_, bobBody := get(t, ts.URL+"/space/Bob")
+	bobPage, err := ParsePage([]byte(bobBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bobPage.Links) != 1 || bobPage.Links[0] != "Amery" {
+		t.Fatalf("Bob links = %v, want [Amery]", bobPage.Links)
+	}
+}
+
+func TestUnknownSpace404(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, _ := get(t, ts.URL+"/space/Nobody")
+	if code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+	code, _ = get(t, ts.URL+"/other")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown route status = %d, want 404", code)
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.FailEvery = 2
+	fails := 0
+	for i := 0; i < 6; i++ {
+		code, _ := get(t, ts.URL+"/space/Amery")
+		if code == http.StatusServiceUnavailable {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("FailEvery=2 over 6 requests gave %d failures, want 3", fails)
+	}
+	if s.Requests() != 6 {
+		t.Fatalf("Requests() = %d, want 6", s.Requests())
+	}
+}
+
+func TestParsePageErrors(t *testing.T) {
+	if _, err := ParsePage([]byte("not xml at all")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := ParsePage([]byte("<space><blogger id=\"\"></blogger></space>")); err == nil {
+		t.Fatal("empty blogger ID must fail")
+	}
+}

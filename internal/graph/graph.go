@@ -1,0 +1,199 @@
+// Package graph provides the directed-graph substrate shared by the
+// authority analyzers (PageRank, HITS), the crawler frontier, and the
+// visualization layer. Nodes are identified by string IDs; the structure is
+// append-only with deduplicated edges and deterministic iteration order.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Directed is a simple directed graph with string node IDs. The zero value
+// is not usable; call New.
+type Directed struct {
+	nodes map[string]struct{}
+	out   map[string][]string
+	in    map[string][]string
+	edges map[[2]string]struct{}
+	order []string // insertion order of nodes, for deterministic iteration
+}
+
+// New returns an empty directed graph.
+func New() *Directed {
+	return &Directed{
+		nodes: map[string]struct{}{},
+		out:   map[string][]string{},
+		in:    map[string][]string{},
+		edges: map[[2]string]struct{}{},
+	}
+}
+
+// AddNode inserts a node; adding an existing node is a no-op.
+func (g *Directed) AddNode(id string) {
+	if _, ok := g.nodes[id]; ok {
+		return
+	}
+	g.nodes[id] = struct{}{}
+	g.order = append(g.order, id)
+}
+
+// AddEdge inserts the directed edge from→to, creating missing nodes.
+// Parallel edges are collapsed; self-loops are allowed (callers that must
+// forbid them, like the authority graph, reject earlier).
+func (g *Directed) AddEdge(from, to string) {
+	key := [2]string{from, to}
+	if _, dup := g.edges[key]; dup {
+		return
+	}
+	g.AddNode(from)
+	g.AddNode(to)
+	g.edges[key] = struct{}{}
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+}
+
+// HasNode reports whether id is in the graph.
+func (g *Directed) HasNode(id string) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// HasEdge reports whether the directed edge from→to exists.
+func (g *Directed) HasEdge(from, to string) bool {
+	_, ok := g.edges[[2]string{from, to}]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (g *Directed) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the (deduplicated) edge count.
+func (g *Directed) NumEdges() int { return len(g.edges) }
+
+// Nodes returns all node IDs in insertion order. The slice is shared;
+// callers must not modify it.
+func (g *Directed) Nodes() []string { return g.order }
+
+// SortedNodes returns all node IDs in lexicographic order (a fresh slice).
+func (g *Directed) SortedNodes() []string {
+	ids := append([]string(nil), g.order...)
+	sort.Strings(ids)
+	return ids
+}
+
+// Out returns the successors of id in edge-insertion order.
+func (g *Directed) Out(id string) []string { return g.out[id] }
+
+// In returns the predecessors of id in edge-insertion order.
+func (g *Directed) In(id string) []string { return g.in[id] }
+
+// OutDegree returns the number of distinct successors of id.
+func (g *Directed) OutDegree(id string) int { return len(g.out[id]) }
+
+// InDegree returns the number of distinct predecessors of id.
+func (g *Directed) InDegree(id string) int { return len(g.in[id]) }
+
+// BFS traverses from seed up to maxDepth hops following out-edges (use
+// Undirected() first for undirected reach). It returns each reached node's
+// hop distance, including seed at 0. An unknown seed yields an empty map.
+func (g *Directed) BFS(seed string, maxDepth int) map[string]int {
+	dist := map[string]int{}
+	if !g.HasNode(seed) {
+		return dist
+	}
+	dist[seed] = 0
+	frontier := []string{seed}
+	for d := 1; d <= maxDepth && len(frontier) > 0; d++ {
+		var next []string
+		for _, u := range frontier {
+			for _, v := range g.out[u] {
+				if _, seen := dist[v]; !seen {
+					dist[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// Undirected returns a new graph with every edge mirrored, preserving node
+// insertion order.
+func (g *Directed) Undirected() *Directed {
+	u := New()
+	for _, id := range g.order {
+		u.AddNode(id)
+	}
+	for e := range g.edges {
+		u.AddEdge(e[0], e[1])
+		u.AddEdge(e[1], e[0])
+	}
+	return u
+}
+
+// WeaklyConnectedComponents returns the node sets of each weakly connected
+// component, largest first; components of equal size are ordered by their
+// smallest member for determinism.
+func (g *Directed) WeaklyConnectedComponents() [][]string {
+	u := g.Undirected()
+	seen := map[string]bool{}
+	var comps [][]string
+	for _, start := range u.SortedNodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		queue := []string{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			comp = append(comp, n)
+			for _, v := range u.out[n] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.SliceStable(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// DegreeHistogram returns counts of nodes by in-degree, used by the
+// workload reports to show the synthetic blogosphere is heavy-tailed.
+func (g *Directed) DegreeHistogram() map[int]int {
+	h := map[int]int{}
+	for _, id := range g.order {
+		h[g.InDegree(id)]++
+	}
+	return h
+}
+
+// Validate checks internal consistency (every edge endpoint is a node,
+// adjacency matches the edge set). It exists to guard deserialized graphs.
+func (g *Directed) Validate() error {
+	for e := range g.edges {
+		if !g.HasNode(e[0]) || !g.HasNode(e[1]) {
+			return fmt.Errorf("graph: edge %v has missing endpoint", e)
+		}
+	}
+	countOut := 0
+	for _, succs := range g.out {
+		countOut += len(succs)
+	}
+	if countOut != len(g.edges) {
+		return fmt.Errorf("graph: adjacency count %d != edge count %d", countOut, len(g.edges))
+	}
+	return nil
+}

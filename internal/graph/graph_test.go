@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *Directed {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "d")
+	g.AddEdge("c", "d")
+	return g
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	g.AddNode("x")
+	g.AddNode("x")
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b")
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.OutDegree("a") != 1 || g.InDegree("b") != 1 {
+		t.Fatalf("degrees: out(a)=%d in(b)=%d", g.OutDegree("a"), g.InDegree("b"))
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Fatal("HasEdge direction wrong")
+	}
+}
+
+func TestEdgeCreatesNodes(t *testing.T) {
+	g := New()
+	g.AddEdge("p", "q")
+	if !g.HasNode("p") || !g.HasNode("q") {
+		t.Fatal("AddEdge must create endpoints")
+	}
+}
+
+func TestBFS(t *testing.T) {
+	g := diamond()
+	d := g.BFS("a", 10)
+	want := map[string]int{"a": 0, "b": 1, "c": 1, "d": 2}
+	for k, v := range want {
+		if d[k] != v {
+			t.Fatalf("BFS dist[%s] = %d, want %d (all: %v)", k, d[k], v, d)
+		}
+	}
+	d1 := g.BFS("a", 1)
+	if _, ok := d1["d"]; ok {
+		t.Fatal("maxDepth=1 must not reach d")
+	}
+	if got := g.BFS("zzz", 3); len(got) != 0 {
+		t.Fatalf("BFS from unknown seed = %v, want empty", got)
+	}
+}
+
+func TestBFSDirectionality(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	if _, ok := g.BFS("b", 5)["a"]; ok {
+		t.Fatal("BFS must follow out-edges only")
+	}
+	if _, ok := g.Undirected().BFS("b", 5)["a"]; !ok {
+		t.Fatal("undirected BFS must reach a from b")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := diamond()
+	g.AddEdge("x", "y") // second component
+	g.AddNode("lonely") // third
+	comps := g.WeaklyConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 4 || comps[0][0] != "a" {
+		t.Fatalf("largest component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestSortedNodesFresh(t *testing.T) {
+	g := New()
+	g.AddNode("b")
+	g.AddNode("a")
+	s := g.SortedNodes()
+	if s[0] != "a" || s[1] != "b" {
+		t.Fatalf("SortedNodes = %v", s)
+	}
+	s[0] = "mutated"
+	if g.SortedNodes()[0] != "a" {
+		t.Fatal("SortedNodes must return a fresh slice")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := diamond()
+	h := g.DegreeHistogram()
+	// a has in-degree 0; b,c have 1; d has 2.
+	if h[0] != 1 || h[1] != 2 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := diamond()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt adjacency directly.
+	g.out["a"] = append(g.out["a"], "phantom-dup")
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation error after corruption")
+	}
+}
+
+func TestSelfLoopAllowedAtGraphLevel(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "a")
+	if g.NumEdges() != 1 || g.NumNodes() != 1 {
+		t.Fatal("self-loop must be stored once")
+	}
+}
+
+// Property: for random edge lists, node count == distinct endpoints,
+// sum of out-degrees == edge count, and Undirected has symmetric edges.
+func TestGraphProperties(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		g := New()
+		distinct := map[string]struct{}{}
+		for _, p := range pairs {
+			from, to := string(rune('a'+p[0]%26)), string(rune('a'+p[1]%26))
+			g.AddEdge(from, to)
+			distinct[from] = struct{}{}
+			distinct[to] = struct{}{}
+		}
+		if g.NumNodes() != len(distinct) {
+			return false
+		}
+		sum := 0
+		for _, n := range g.Nodes() {
+			sum += g.OutDegree(n)
+		}
+		if sum != g.NumEdges() {
+			return false
+		}
+		u := g.Undirected()
+		for _, n := range u.Nodes() {
+			for _, m := range u.Out(n) {
+				if !u.HasEdge(m, n) {
+					return false
+				}
+			}
+		}
+		return g.Validate() == nil && u.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every BFS distance is at most maxDepth and neighbors differ by
+// at most 1 in distance when both reached.
+func TestBFSProperty(t *testing.T) {
+	f := func(pairs [][2]uint8, depth uint8) bool {
+		g := New()
+		for _, p := range pairs {
+			g.AddEdge(string(rune('a'+p[0]%16)), string(rune('a'+p[1]%16)))
+		}
+		if g.NumNodes() == 0 {
+			return true
+		}
+		seed := g.Nodes()[0]
+		maxDepth := int(depth % 5)
+		dist := g.BFS(seed, maxDepth)
+		for n, d := range dist {
+			if d > maxDepth || d < 0 {
+				return false
+			}
+			for _, m := range g.Out(n) {
+				if dm, ok := dist[m]; ok && dm > d+1 {
+					return false
+				}
+			}
+		}
+		return dist[seed] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

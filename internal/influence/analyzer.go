@@ -1,0 +1,423 @@
+package influence
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mass/internal/blog"
+	"mass/internal/classify"
+	"mass/internal/graph"
+	"mass/internal/linkrank"
+	"mass/internal/novelty"
+	"mass/internal/rank"
+	"mass/internal/sentiment"
+	"mass/internal/textutil"
+)
+
+// Analyzer computes MASS influence scores over a corpus. It corresponds to
+// the paper's Analyzer Module: the Post Analyzer (classifier) assigns
+// domain posteriors, the Comment Analyzer (sentiment + this solver)
+// computes the influence fixed point.
+type Analyzer struct {
+	cfg        Config
+	classifier classify.Classifier
+	sent       *sentiment.Analyzer
+}
+
+// NewAnalyzer builds an analyzer. classifier may be nil when domain scores
+// are not needed (Result.DomainScores will then be empty).
+func NewAnalyzer(cfg Config, classifier classify.Classifier) (*Analyzer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		cfg:        cfg.withDefaults(),
+		classifier: classifier,
+		sent:       sentiment.NewAnalyzer(),
+	}, nil
+}
+
+// Result holds everything the influence analysis produces.
+type Result struct {
+	// BloggerScores is Inf(b) for every blogger (Eq. 1).
+	BloggerScores map[blog.BloggerID]float64
+	// PostScores is Inf(b, d_k) for every post (Eq. 4).
+	PostScores map[blog.PostID]float64
+	// AP is the Accumulated Post influence Σ_k Inf(b, d_k).
+	AP map[blog.BloggerID]float64
+	// GL is the General Links authority (PageRank over the link graph).
+	GL map[blog.BloggerID]float64
+	// Quality is each post's quality score (normalized length × novelty).
+	Quality map[blog.PostID]float64
+	// Novelty is each post's novelty factor.
+	Novelty map[blog.PostID]float64
+	// PostDomains is iv(b, d_k, C_t): the classifier posterior per post.
+	PostDomains map[blog.PostID]map[string]float64
+	// DomainScores is Inf(b, C_t) for every blogger and domain (Eq. 5).
+	DomainScores map[blog.BloggerID]map[string]float64
+	// Iterations and Converged report fixed-point solver behaviour.
+	Iterations int
+	Converged  bool
+}
+
+// Analyze runs the full pipeline on the corpus. It never modifies c.
+func (a *Analyzer) Analyze(c *blog.Corpus) (*Result, error) {
+	return a.analyze(c, nil)
+}
+
+// AnalyzeWarm re-analyzes a corpus starting from a previous result's
+// blogger scores. When the corpus changed only incrementally (new posts,
+// comments, or links since prev), the fixed point is close to the old one
+// and the solver converges in far fewer sweeps — the incremental-update
+// path for a live system that re-scores as the crawler appends data. The
+// final scores are identical to a cold Analyze (the fixed point is
+// unique); only the iteration count differs.
+func (a *Analyzer) AnalyzeWarm(c *blog.Corpus, prev *Result) (*Result, error) {
+	if prev == nil {
+		return a.analyze(c, nil)
+	}
+	return a.analyze(c, prev.BloggerScores)
+}
+
+func (a *Analyzer) analyze(c *blog.Corpus, warm map[blog.BloggerID]float64) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("influence: invalid corpus: %w", err)
+	}
+	bloggers := c.BloggerIDs()
+	posts := c.PostIDs()
+	bIdx := make(map[blog.BloggerID]int, len(bloggers))
+	for i, id := range bloggers {
+		bIdx[id] = i
+	}
+
+	res := &Result{
+		BloggerScores: make(map[blog.BloggerID]float64, len(bloggers)),
+		PostScores:    make(map[blog.PostID]float64, len(posts)),
+		AP:            make(map[blog.BloggerID]float64, len(bloggers)),
+		GL:            make(map[blog.BloggerID]float64, len(bloggers)),
+		Quality:       make(map[blog.PostID]float64, len(posts)),
+		Novelty:       make(map[blog.PostID]float64, len(posts)),
+		PostDomains:   make(map[blog.PostID]map[string]float64, len(posts)),
+		DomainScores:  make(map[blog.BloggerID]map[string]float64, len(bloggers)),
+	}
+
+	// --- GL facet: PageRank over the hyperlink graph (Eq. 1). ---
+	gl := a.computeGL(c, bloggers)
+	for i, id := range bloggers {
+		res.GL[id] = gl[i]
+	}
+
+	// --- Quality facet: normalized length × novelty (Eq. 2). ---
+	quality, nov := a.computeQuality(c, posts)
+	for i, pid := range posts {
+		res.Quality[pid] = quality[i]
+		res.Novelty[pid] = nov[i]
+	}
+
+	// --- Comment facet precomputation: (commenter index, SF/TC) pairs. ---
+	type commentRef struct {
+		commenter int
+		weight    float64 // SF / TC(b_j); with IgnoreCitation, just SF
+	}
+	postComments := make([][]commentRef, len(posts))
+	for i, pid := range posts {
+		p := c.Posts[pid]
+		refs := make([]commentRef, 0, len(p.Comments))
+		for _, cm := range p.Comments {
+			sf := a.sentimentFactor(cm.Text)
+			tc := c.TotalComments(cm.Commenter)
+			if tc == 0 {
+				// Impossible by construction (the commenter wrote this very
+				// comment), but guard against corrupted indexes.
+				continue
+			}
+			w := sf / float64(tc)
+			if a.cfg.IgnoreCitation {
+				w = sf
+			}
+			refs = append(refs, commentRef{commenter: bIdx[cm.Commenter], weight: w})
+		}
+		postComments[i] = refs
+	}
+
+	// Author index per post, and posts per author index.
+	postAuthor := make([]int, len(posts))
+	authorPosts := make([][]int, len(bloggers))
+	for i, pid := range posts {
+		ai := bIdx[c.Posts[pid].Author]
+		postAuthor[i] = ai
+		authorPosts[ai] = append(authorPosts[ai], i)
+	}
+
+	// --- Fixed-point solve of Eqs. 1 and 4. ---
+	alpha, beta := a.cfg.Alpha, a.cfg.Beta
+	inf := make([]float64, len(bloggers))
+	newInf := make([]float64, len(bloggers))
+	postInf := make([]float64, len(posts))
+	copy(inf, gl) // GL is a natural starting point; any start converges.
+	if warm != nil {
+		for i, id := range bloggers {
+			if v, ok := warm[id]; ok {
+				inf[i] = v
+			}
+		}
+	}
+
+	ignoreCitation := a.cfg.IgnoreCitation
+	sweepPosts := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cs := 0.0
+			if ignoreCitation {
+				// Without citation weighting the commenter's own influence
+				// is not consulted; cs is just Σ SF (already in weight).
+				for _, ref := range postComments[i] {
+					cs += ref.weight
+				}
+			} else {
+				for _, ref := range postComments[i] {
+					cs += inf[ref.commenter] * ref.weight
+				}
+			}
+			postInf[i] = beta*quality[i] + (1-beta)*cs
+		}
+	}
+
+	for iter := 1; iter <= a.cfg.MaxIter; iter++ {
+		res.Iterations = iter
+		if a.cfg.Workers > 1 {
+			a.parallelSweep(len(posts), sweepPosts)
+		} else {
+			sweepPosts(0, len(posts))
+		}
+		var delta float64
+		for bi := range bloggers {
+			ap := 0.0
+			for _, pi := range authorPosts[bi] {
+				ap += postInf[pi]
+			}
+			v := alpha*ap + (1-alpha)*gl[bi]
+			if d := v - inf[bi]; d > delta {
+				delta = d
+			} else if -d > delta {
+				delta = -d
+			}
+			newInf[bi] = v
+		}
+		inf, newInf = newInf, inf
+		if delta < a.cfg.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+
+	for i, id := range bloggers {
+		res.BloggerScores[id] = inf[i]
+		ap := 0.0
+		for _, pi := range authorPosts[i] {
+			ap += postInf[pi]
+		}
+		res.AP[id] = ap
+	}
+	for i, pid := range posts {
+		res.PostScores[pid] = postInf[i]
+	}
+
+	// --- Domain facet: iv posteriors and Eq. 5 aggregation. ---
+	// Classification dominates analysis cost on large corpora and each
+	// call is independent, so it parallelizes across cfg.Workers.
+	// (Classifier implementations must be safe for concurrent reads,
+	// which holds for every classifier in this repository: they are
+	// immutable after training.)
+	if a.classifier != nil {
+		dists := make([]map[string]float64, len(posts))
+		a.parallelSweep(len(posts), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dists[i] = a.classifier.Classify(c.Posts[posts[i]].Body)
+			}
+		})
+		for i, pid := range posts {
+			dist := dists[i]
+			res.PostDomains[pid] = dist
+			author := bloggers[postAuthor[i]]
+			ds := res.DomainScores[author]
+			if ds == nil {
+				ds = map[string]float64{}
+				res.DomainScores[author] = ds
+			}
+			for dom, p := range dist {
+				ds[dom] += postInf[i] * p
+			}
+		}
+		// Bloggers with no posts still get an explicit zero vector so
+		// consumers can iterate uniformly.
+		for _, id := range bloggers {
+			if res.DomainScores[id] == nil {
+				res.DomainScores[id] = map[string]float64{}
+			}
+		}
+	}
+	return res, nil
+}
+
+// computeGL builds the blogger-level hyperlink graph and runs PageRank.
+// When the authority facet is disabled the GL vector is all zeros.
+func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID) []float64 {
+	gl := make([]float64, len(bloggers))
+	if a.cfg.IgnoreAuthority {
+		return gl
+	}
+	g := graph.New()
+	for _, id := range bloggers {
+		g.AddNode(string(id))
+	}
+	for _, l := range c.Links {
+		g.AddEdge(string(l.From), string(l.To))
+	}
+	pr := linkrank.PageRank(g, a.cfg.PageRank)
+	for i, id := range bloggers {
+		gl[i] = pr.Scores[string(id)]
+	}
+	return gl
+}
+
+// computeQuality scores every post: token count normalized by the corpus
+// maximum, times the novelty factor. Posts are scored in chronological
+// order so the near-duplicate detector sees originals first.
+func (a *Analyzer) computeQuality(c *blog.Corpus, posts []blog.PostID) (quality, nov []float64) {
+	quality = make([]float64, len(posts))
+	nov = make([]float64, len(posts))
+
+	order := make([]int, len(posts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		px, py := c.Posts[posts[order[x]]], c.Posts[posts[order[y]]]
+		if !px.Posted.Equal(py.Posted) {
+			return px.Posted.Before(py.Posted)
+		}
+		return px.ID < py.ID
+	})
+
+	// Tokenization (word counts + shingles) dominates quality scoring and
+	// is embarrassingly parallel; only the seen-index pass below must run
+	// serially in chronological order.
+	det := novelty.New()
+	lengths := make([]float64, len(posts))
+	prepared := make([]novelty.Prepared, len(posts))
+	a.parallelSweep(len(posts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body := c.Posts[posts[i]].Body
+			lengths[i] = float64(textutil.WordCount(body))
+			if !a.cfg.IgnoreNovelty {
+				prepared[i] = det.Prepare(body)
+			}
+		}
+	})
+	maxLen := 0.0
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	for _, i := range order {
+		n := novelty.OriginalScore
+		if !a.cfg.IgnoreNovelty {
+			n = det.ScorePrepared(prepared[i])
+		}
+		nov[i] = n
+		if maxLen > 0 {
+			quality[i] = lengths[i] / maxLen * n
+		}
+	}
+	return quality, nov
+}
+
+// sentimentFactor maps a comment's text to its SF value.
+func (a *Analyzer) sentimentFactor(text string) float64 {
+	if a.cfg.IgnoreSentiment {
+		return 1
+	}
+	switch a.sent.Score(text) {
+	case sentiment.Positive:
+		return a.cfg.SFPositive
+	case sentiment.Negative:
+		return a.cfg.SFNegative
+	default:
+		return a.cfg.SFNeutral
+	}
+}
+
+// parallelSweep splits [0, n) across cfg.Workers goroutines.
+func (a *Analyzer) parallelSweep(n int, f func(lo, hi int)) {
+	w := a.cfg.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// TopKGeneral returns the k most influential bloggers by overall Inf(b).
+func (r *Result) TopKGeneral(k int) []blog.BloggerID {
+	return toBloggerIDs(topKFromMap(bloggerScoreMap(r.BloggerScores), k))
+}
+
+// TopKDomain returns the k most influential bloggers in the given domain
+// by Inf(b, C_t). Bloggers without the domain score 0.
+func (r *Result) TopKDomain(domain string, k int) []blog.BloggerID {
+	m := make(map[string]float64, len(r.DomainScores))
+	for b, ds := range r.DomainScores {
+		m[string(b)] = ds[domain]
+	}
+	return toBloggerIDs(topKFromMap(m, k))
+}
+
+// DomainVector returns Inf(b, IV): blogger b's influence score on every
+// domain, as a copy safe to mutate.
+func (r *Result) DomainVector(b blog.BloggerID) map[string]float64 {
+	out := map[string]float64{}
+	for d, s := range r.DomainScores[b] {
+		out[d] = s
+	}
+	return out
+}
+
+func bloggerScoreMap(m map[blog.BloggerID]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[string(k)] = v
+	}
+	return out
+}
+
+// topKFromMap returns the ids of the k top-scored entries, ties broken by
+// ascending id, delegating to the rank package.
+func topKFromMap(scores map[string]float64, k int) []string {
+	return rank.IDs(rank.TopK(scores, k))
+}
+
+func toBloggerIDs(ids []string) []blog.BloggerID {
+	out := make([]blog.BloggerID, len(ids))
+	for i, id := range ids {
+		out[i] = blog.BloggerID(id)
+	}
+	return out
+}

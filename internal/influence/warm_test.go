@@ -1,0 +1,95 @@
+package influence
+
+import (
+	"math"
+	"testing"
+
+	"mass/internal/blog"
+	"mass/internal/synth"
+)
+
+func TestWarmStartSameFixedPoint(t *testing.T) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 71, Bloggers: 60, Posts: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAnalyzer(t, Config{}, nil)
+	cold, err := a.Analyze(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := a.AnalyzeWarm(corpus, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same unique fixed point.
+	for b, s := range cold.BloggerScores {
+		if math.Abs(warm.BloggerScores[b]-s) > 1e-7 {
+			t.Fatalf("warm fixed point differs for %s: %v vs %v", b, warm.BloggerScores[b], s)
+		}
+	}
+	// Warm start from the solution itself must converge almost instantly.
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm start no faster: %d vs %d iterations", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestWarmStartAfterIncrementalGrowth(t *testing.T) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 72, Bloggers: 60, Posts: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAnalyzer(t, Config{}, nil)
+	prev, err := a.Analyze(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crawler appends one new blogger with a post and a comment.
+	if err := corpus.AddBlogger(&blog.Blogger{ID: "newcomer"}); err != nil {
+		t.Fatal(err)
+	}
+	someone := corpus.BloggerIDs()[0]
+	if err := corpus.AddPost(&blog.Post{
+		ID: "newpost", Author: "newcomer",
+		Body: "a fresh note about something entirely new around here",
+		Comments: []blog.Comment{
+			{Commenter: someone, Text: "I agree, great"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := a.Analyze(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := a.AnalyzeWarm(corpus, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, s := range cold.BloggerScores {
+		if math.Abs(warm.BloggerScores[b]-s) > 1e-7 {
+			t.Fatalf("incremental warm result differs for %s", b)
+		}
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("warm start slower than cold: %d vs %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestWarmNilPrevEqualsCold(t *testing.T) {
+	c := blog.Figure1Corpus()
+	a := mustAnalyzer(t, Config{}, nil)
+	cold, err := a.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := a.AnalyzeWarm(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, s := range cold.BloggerScores {
+		if warm.BloggerScores[b] != s {
+			t.Fatal("nil prev must behave exactly like Analyze")
+		}
+	}
+}

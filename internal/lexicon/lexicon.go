@@ -1,0 +1,142 @@
+// Package lexicon holds the word lists MASS depends on: the positive and
+// negative sentiment lexicons used by the comment analyzer, the
+// copy-indicator phrases used by the novelty detector, and topical
+// vocabularies for the ten predefined interest domains from the paper's
+// evaluation (Travel, Computer, Communication, Education, Economics,
+// Military, Sports, Medicine, Art, Politics).
+//
+// The sentiment word seeds follow the paper exactly: positive comments
+// "contain positive words such as 'agree', 'support', 'conform'"; the rest
+// of each list is standard opinion vocabulary so synthetic comments have
+// realistic variety.
+package lexicon
+
+import "strings"
+
+// Domain names as predefined in the paper's evaluation section, in the
+// paper's order.
+const (
+	Travel        = "Travel"
+	Computer      = "Computer"
+	Communication = "Communication"
+	Education     = "Education"
+	Economics     = "Economics"
+	Military      = "Military"
+	Sports        = "Sports"
+	Medicine      = "Medicine"
+	Art           = "Art"
+	Politics      = "Politics"
+)
+
+// Domains lists all ten predefined interest domains in canonical order.
+func Domains() []string {
+	return []string{Travel, Computer, Communication, Education, Economics,
+		Military, Sports, Medicine, Art, Politics}
+}
+
+// PositiveWords returns the positive-sentiment lexicon (stemmed-form
+// agnostic: the sentiment analyzer matches raw lowercase tokens).
+func PositiveWords() []string {
+	return splitWords(positiveRaw)
+}
+
+// NegativeWords returns the negative-sentiment lexicon.
+func NegativeWords() []string {
+	return splitWords(negativeRaw)
+}
+
+// CopyIndicators returns the phrases whose presence marks a post as
+// reproduced content ("a carbon copy from others", paper §II). Matching is
+// case-insensitive substring matching on the raw post text.
+func CopyIndicators() []string {
+	return []string{
+		"reposted from", "repost from", "copied from", "copy from",
+		"forwarded from", "forward from", "via email forward",
+		"originally posted", "originally published", "original source",
+		"source:", "credit to", "all rights belong",
+		"zt", "zhuan tie", "reprinted", "reprint from", "excerpted from",
+		"quoted in full", "full text below", "courtesy of",
+	}
+}
+
+// Vocabulary returns the topical word list for a domain, or nil for an
+// unknown domain. These vocabularies drive both the synthetic text
+// generator and (indirectly) the classifier's learned features; they are
+// intentionally disjoint enough that naive Bayes separates them well, with
+// a shared pool of neutral filler supplied by the generator.
+func Vocabulary(domain string) []string {
+	raw, ok := vocabularies[domain]
+	if !ok {
+		return nil
+	}
+	return splitWords(raw)
+}
+
+func splitWords(raw string) []string {
+	return strings.Fields(raw)
+}
+
+var vocabularies = map[string]string{
+	Travel: `travel trip journey flight hotel resort beach island passport
+		visa luggage itinerary tourist tourism vacation holiday cruise
+		backpack hostel landmark museum sightseeing destination airline
+		airport booking guide map adventure safari hiking camping
+		souvenir customs jetlag roadtrip scenery coastline`,
+	Computer: `computer software hardware programming code compiler
+		algorithm database server network linux windows keyboard processor
+		memory disk laptop debugging java python developer opensource
+		kernel browser internet website framework api binary encryption
+		bandwidth motherboard graphics cache thread runtime`,
+	Communication: `communication phone mobile telecom wireless signal
+		antenna broadband cellular messaging chat email voicemail
+		conference broadcast satellite frequency spectrum carrier roaming
+		handset smartphone texting videocall modem router protocol
+		transmission receiver dialtone operator subscriber`,
+	Education: `education school university college student teacher
+		professor classroom curriculum homework exam scholarship degree
+		diploma lecture seminar tuition campus kindergarten literacy
+		textbook grading syllabus semester thesis dissertation mentor
+		tutoring enrollment graduation academics pedagogy`,
+	Economics: `economics economy market stock finance investment
+		inflation recession depression bank interest mortgage currency
+		trade deficit surplus gdp unemployment tax fiscal monetary
+		portfolio dividend equity bond commodity exchange tariff
+		stimulus bailout liquidity capital entrepreneur`,
+	Military: `military army navy airforce soldier weapon missile tank
+		battalion regiment deployment combat strategy defense artillery
+		infantry submarine radar warfare treaty ceasefire reconnaissance
+		barracks veteran general admiral brigade munitions armor
+		logistics convoy fortification garrison`,
+	Sports: `sports basketball football soccer baseball tennis golf
+		marathon olympics championship tournament athlete coach stadium
+		league playoff score goal touchdown dunk sprint swimming cycling
+		fitness training workout referee medal record season draft
+		jersey sneaker dribble volley`,
+	Medicine: `medicine doctor hospital patient nurse surgery diagnosis
+		treatment therapy vaccine prescription symptom disease clinic
+		pharmacy antibiotic cardiology oncology pediatrics anatomy
+		immunology infection recovery wellness checkup dosage chronic
+		epidemic physician surgeon stethoscope ward`,
+	Art: `art painting sculpture gallery artist canvas exhibition
+		portrait landscape watercolor brush palette museum curator
+		abstract impressionism renaissance photography sketch drawing
+		ceramics installation aesthetic composition masterpiece studio
+		fresco mural etching collage pigment easel`,
+	Politics: `politics government election senate congress president
+		campaign policy legislation democracy republican democrat vote
+		ballot candidate parliament minister diplomacy constitution
+		referendum lobbying governance coalition veto amendment
+		bureaucracy statecraft incumbent caucus primary mandate`,
+}
+
+var positiveRaw = `agree support conform great excellent wonderful amazing
+	awesome fantastic brilliant insightful helpful inspiring love
+	like enjoy impressive superb outstanding perfect thanks thank
+	appreciate valuable informative useful convincing right correct
+	best favorite recommend endorse applaud admire delightful`
+
+var negativeRaw = `disagree oppose wrong terrible awful horrible bad
+	misleading useless boring nonsense stupid hate dislike poor
+	disappointing flawed incorrect false biased overrated weak
+	waste doubt doubtful refute reject object worst pathetic
+	ridiculous shallow unconvincing inaccurate`

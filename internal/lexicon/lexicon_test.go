@@ -1,0 +1,100 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDomainsCanonical(t *testing.T) {
+	d := Domains()
+	if len(d) != 10 {
+		t.Fatalf("len(Domains) = %d, want 10", len(d))
+	}
+	if d[0] != Travel || d[9] != Politics {
+		t.Fatalf("domain order wrong: %v", d)
+	}
+	seen := map[string]bool{}
+	for _, name := range d {
+		if seen[name] {
+			t.Fatalf("duplicate domain %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestVocabularyCoverage(t *testing.T) {
+	for _, d := range Domains() {
+		v := Vocabulary(d)
+		if len(v) < 30 {
+			t.Errorf("Vocabulary(%s) has %d words, want >= 30", d, len(v))
+		}
+		for _, w := range v {
+			if w != strings.ToLower(w) {
+				t.Errorf("vocabulary word %q in %s is not lowercase", w, d)
+			}
+		}
+	}
+	if Vocabulary("Astrology") != nil {
+		t.Fatal("unknown domain must return nil vocabulary")
+	}
+}
+
+func TestVocabulariesMostlyDisjoint(t *testing.T) {
+	// Domain vocabularies may share a handful of words (e.g. "museum" in
+	// Travel and Art) but must be overwhelmingly distinct or the
+	// classifier has no signal.
+	counts := map[string]int{}
+	for _, d := range Domains() {
+		for _, w := range Vocabulary(d) {
+			counts[w]++
+		}
+	}
+	shared := 0
+	for _, c := range counts {
+		if c > 1 {
+			shared++
+		}
+	}
+	if shared > 5 {
+		t.Fatalf("%d words shared between domains, want <= 5", shared)
+	}
+}
+
+func TestSentimentSeedsFromPaper(t *testing.T) {
+	pos := map[string]bool{}
+	for _, w := range PositiveWords() {
+		pos[w] = true
+	}
+	// The paper names these three examples explicitly.
+	for _, w := range []string{"agree", "support", "conform"} {
+		if !pos[w] {
+			t.Errorf("paper-mandated positive word %q missing", w)
+		}
+	}
+	neg := map[string]bool{}
+	for _, w := range NegativeWords() {
+		neg[w] = true
+	}
+	for _, w := range []string{"disagree", "oppose", "wrong"} {
+		if !neg[w] {
+			t.Errorf("expected negative word %q missing", w)
+		}
+	}
+	for w := range pos {
+		if neg[w] {
+			t.Errorf("word %q appears in both sentiment lexicons", w)
+		}
+	}
+}
+
+func TestCopyIndicatorsLowercase(t *testing.T) {
+	ind := CopyIndicators()
+	if len(ind) < 10 {
+		t.Fatalf("want >= 10 copy indicators, got %d", len(ind))
+	}
+	for _, p := range ind {
+		if p != strings.ToLower(p) {
+			t.Errorf("copy indicator %q must be lowercase", p)
+		}
+	}
+}

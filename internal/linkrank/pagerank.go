@@ -1,0 +1,202 @@
+// Package linkrank implements the link-analysis authority measures MASS
+// uses for the General-Links (GL) influence facet: PageRank (the paper's
+// chosen model, [3]) and HITS ([4]) as an alternative. Both operate on the
+// graph substrate and are convergence-controlled and deterministic.
+package linkrank
+
+import (
+	"fmt"
+	"math"
+
+	"mass/internal/graph"
+)
+
+// Options controls the iterative solvers.
+type Options struct {
+	// Damping is the PageRank damping factor d (probability of following a
+	// link rather than teleporting). Default 0.85.
+	Damping float64
+	// Epsilon is the L1 convergence threshold. Default 1e-10.
+	Epsilon float64
+	// MaxIter bounds the number of sweeps. Default 200.
+	MaxIter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-10
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	return o
+}
+
+// Result carries a converged score vector and solver diagnostics.
+type Result struct {
+	Scores     map[string]float64
+	Iterations int
+	Converged  bool
+}
+
+// PageRank computes the PageRank vector of g. Dangling nodes (no
+// out-edges) distribute their mass uniformly, the standard correction.
+// Scores sum to 1. An empty graph yields an empty result.
+func PageRank(g *graph.Directed, opts Options) Result {
+	opts = opts.withDefaults()
+	nodes := g.SortedNodes()
+	n := len(nodes)
+	if n == 0 {
+		return Result{Scores: map[string]float64{}, Converged: true}
+	}
+	idx := make(map[string]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	// Precompute in-neighbor index lists and out-degrees.
+	outDeg := make([]int, n)
+	inN := make([][]int, n)
+	for i, id := range nodes {
+		outDeg[i] = g.OutDegree(id)
+		preds := g.In(id)
+		inN[i] = make([]int, len(preds))
+		for j, p := range preds {
+			inN[i][j] = idx[p]
+		}
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	base := (1 - opts.Damping) / float64(n)
+	res := Result{Scores: make(map[string]float64, n)}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		res.Iterations = iter
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				dangling += cur[i]
+			}
+		}
+		danglingShare := opts.Damping * dangling / float64(n)
+		var delta float64
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range inN[i] {
+				sum += cur[j] / float64(outDeg[j])
+			}
+			next[i] = base + danglingShare + opts.Damping*sum
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if delta < opts.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	for i, id := range nodes {
+		res.Scores[id] = cur[i]
+	}
+	return res
+}
+
+// HITS computes hub and authority scores of g with L2 normalization each
+// sweep. Both vectors are normalized to unit L2 norm; an empty graph yields
+// empty results.
+func HITS(g *graph.Directed, opts Options) (auth, hub Result) {
+	opts = opts.withDefaults()
+	nodes := g.SortedNodes()
+	n := len(nodes)
+	auth = Result{Scores: make(map[string]float64, n)}
+	hub = Result{Scores: make(map[string]float64, n)}
+	if n == 0 {
+		auth.Converged, hub.Converged = true, true
+		return auth, hub
+	}
+	idx := make(map[string]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	inN := make([][]int, n)
+	outN := make([][]int, n)
+	for i, id := range nodes {
+		for _, p := range g.In(id) {
+			inN[i] = append(inN[i], idx[p])
+		}
+		for _, s := range g.Out(id) {
+			outN[i] = append(outN[i], idx[s])
+		}
+	}
+	a := make([]float64, n)
+	h := make([]float64, n)
+	for i := range a {
+		a[i], h[i] = 1, 1
+	}
+	normalize := func(v []float64) {
+		var s float64
+		for _, x := range v {
+			s += x * x
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return
+		}
+		for i := range v {
+			v[i] /= s
+		}
+	}
+	prevA := make([]float64, n)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		auth.Iterations, hub.Iterations = iter, iter
+		copy(prevA, a)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range inN[i] {
+				sum += h[j]
+			}
+			a[i] = sum
+		}
+		normalize(a)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range outN[i] {
+				sum += a[j]
+			}
+			h[i] = sum
+		}
+		normalize(h)
+		var delta float64
+		for i := 0; i < n; i++ {
+			delta += math.Abs(a[i] - prevA[i])
+		}
+		if delta < opts.Epsilon {
+			auth.Converged, hub.Converged = true, true
+			break
+		}
+	}
+	for i, id := range nodes {
+		auth.Scores[id] = a[i]
+		hub.Scores[id] = h[i]
+	}
+	return auth, hub
+}
+
+// CheckStochastic verifies that scores form a probability distribution
+// within tol; used by tests and by the analyzer's self-checks.
+func CheckStochastic(scores map[string]float64, tol float64) error {
+	var sum float64
+	for id, s := range scores {
+		if s < -tol {
+			return fmt.Errorf("linkrank: negative score %g for %q", s, id)
+		}
+		sum += s
+	}
+	if len(scores) > 0 && math.Abs(sum-1) > tol {
+		return fmt.Errorf("linkrank: scores sum to %g, want 1", sum)
+	}
+	return nil
+}

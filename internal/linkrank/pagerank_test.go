@@ -1,0 +1,229 @@
+package linkrank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mass/internal/graph"
+)
+
+func chain() *graph.Directed {
+	g := graph.New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	return g
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	r := PageRank(graph.New(), Options{})
+	if len(r.Scores) != 0 || !r.Converged {
+		t.Fatalf("empty graph result = %+v", r)
+	}
+}
+
+func TestPageRankSingleNode(t *testing.T) {
+	g := graph.New()
+	g.AddNode("solo")
+	r := PageRank(g, Options{})
+	if math.Abs(r.Scores["solo"]-1) > 1e-9 {
+		t.Fatalf("single node score = %v, want 1", r.Scores["solo"])
+	}
+}
+
+func TestPageRankChainOrdering(t *testing.T) {
+	r := PageRank(chain(), Options{})
+	if !r.Converged {
+		t.Fatal("chain must converge")
+	}
+	if !(r.Scores["c"] > r.Scores["b"] && r.Scores["b"] > r.Scores["a"]) {
+		t.Fatalf("ordering wrong: %v", r.Scores)
+	}
+	if err := CheckStochastic(r.Scores, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankSymmetricCycle(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	r := PageRank(g, Options{})
+	for _, id := range []string{"a", "b", "c"} {
+		if math.Abs(r.Scores[id]-1.0/3) > 1e-8 {
+			t.Fatalf("cycle scores must be uniform: %v", r.Scores)
+		}
+	}
+}
+
+func TestPageRankStarAuthority(t *testing.T) {
+	g := graph.New()
+	for _, s := range []string{"s1", "s2", "s3", "s4"} {
+		g.AddEdge(s, "hub")
+	}
+	r := PageRank(g, Options{})
+	if r.Scores["hub"] <= r.Scores["s1"]*2 {
+		t.Fatalf("hub must dominate spokes: %v", r.Scores)
+	}
+}
+
+func TestPageRankDanglingMassConserved(t *testing.T) {
+	// "b" is dangling; total mass must still sum to 1.
+	g := graph.New()
+	g.AddEdge("a", "b")
+	g.AddNode("c")
+	r := PageRank(g, Options{})
+	if err := CheckStochastic(r.Scores, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankDampingExtremes(t *testing.T) {
+	g := chain()
+	// Tiny damping → nearly uniform.
+	r := PageRank(g, Options{Damping: 0.01})
+	for _, s := range r.Scores {
+		if math.Abs(s-1.0/3) > 0.02 {
+			t.Fatalf("low damping should be near-uniform: %v", r.Scores)
+		}
+	}
+}
+
+func TestPageRankMaxIterStops(t *testing.T) {
+	g := chain()
+	r := PageRank(g, Options{MaxIter: 1, Epsilon: 1e-300})
+	if r.Converged || r.Iterations != 1 {
+		t.Fatalf("MaxIter=1 must stop unconverged after 1 iter: %+v", r)
+	}
+}
+
+func TestHITSChain(t *testing.T) {
+	auth, hub := HITS(chain(), Options{})
+	if !auth.Converged {
+		t.Fatal("HITS must converge on a chain")
+	}
+	// b and c receive links; a receives none.
+	if auth.Scores["a"] != 0 {
+		t.Fatalf("a has no in-links, auth = %v", auth.Scores["a"])
+	}
+	if hub.Scores["c"] != 0 {
+		t.Fatalf("c has no out-links, hub = %v", hub.Scores["c"])
+	}
+}
+
+func TestHITSStar(t *testing.T) {
+	g := graph.New()
+	for _, s := range []string{"s1", "s2", "s3"} {
+		g.AddEdge(s, "center")
+	}
+	auth, hub := HITS(g, Options{})
+	if auth.Scores["center"] < 0.99 {
+		t.Fatalf("center must hold nearly all authority: %v", auth.Scores)
+	}
+	for _, s := range []string{"s1", "s2", "s3"} {
+		if math.Abs(hub.Scores[s]-1/math.Sqrt(3)) > 1e-6 {
+			t.Fatalf("spoke hubs must be equal: %v", hub.Scores)
+		}
+	}
+}
+
+func TestHITSEmpty(t *testing.T) {
+	auth, hub := HITS(graph.New(), Options{})
+	if len(auth.Scores) != 0 || len(hub.Scores) != 0 {
+		t.Fatal("empty graph must give empty HITS")
+	}
+}
+
+func TestCheckStochastic(t *testing.T) {
+	if err := CheckStochastic(map[string]float64{"a": 0.5, "b": 0.5}, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStochastic(map[string]float64{"a": 0.9}, 1e-9); err == nil {
+		t.Fatal("sum != 1 must fail")
+	}
+	if err := CheckStochastic(map[string]float64{"a": -0.5, "b": 1.5}, 1e-9); err == nil {
+		t.Fatal("negative score must fail")
+	}
+	if err := CheckStochastic(nil, 1e-9); err != nil {
+		t.Fatal("empty scores must pass")
+	}
+}
+
+func randomGraph(seed int64, n, e int) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('A' + i%26)))
+	}
+	nodes := g.Nodes()
+	for i := 0; i < e; i++ {
+		a := nodes[rng.Intn(len(nodes))]
+		b := nodes[rng.Intn(len(nodes))]
+		if a != b {
+			g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+// Property: PageRank is a probability distribution and deterministic for
+// arbitrary random graphs.
+func TestPageRankProperty(t *testing.T) {
+	f := func(seed int64, n8, e8 uint8) bool {
+		n := int(n8%20) + 1
+		e := int(e8 % 60)
+		g := randomGraph(seed, n, e)
+		r1 := PageRank(g, Options{})
+		r2 := PageRank(g, Options{})
+		if err := CheckStochastic(r1.Scores, 1e-6); err != nil {
+			return false
+		}
+		for k, v := range r1.Scores {
+			if r2.Scores[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HITS authority vector has unit L2 norm (when any node has
+// in-links) and all scores are non-negative.
+func TestHITSProperty(t *testing.T) {
+	f := func(seed int64, n8, e8 uint8) bool {
+		n := int(n8%20) + 2
+		e := int(e8%60) + 1
+		g := randomGraph(seed, n, e)
+		auth, hub := HITS(g, Options{})
+		var norm float64
+		anyIn := false
+		for _, id := range g.Nodes() {
+			if g.InDegree(id) > 0 {
+				anyIn = true
+			}
+		}
+		for _, v := range auth.Scores {
+			if v < 0 {
+				return false
+			}
+			norm += v * v
+		}
+		if anyIn && math.Abs(math.Sqrt(norm)-1) > 1e-6 {
+			return false
+		}
+		for _, v := range hub.Scores {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

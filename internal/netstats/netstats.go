@@ -1,0 +1,168 @@
+// Package netstats computes structural statistics of a blogosphere's
+// networks — the hyperlink graph and the post-reply graph — for the
+// workload reports that accompany every experiment: component structure,
+// degree distribution with a power-law tail estimate, reciprocity, and
+// local clustering. The demo's visualization panel shows these networks;
+// netstats quantifies them.
+package netstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mass/internal/blog"
+	"mass/internal/graph"
+)
+
+// Report summarizes one directed network.
+type Report struct {
+	Nodes, Edges int
+	// Components is the number of weakly connected components; Largest is
+	// the biggest component's size.
+	Components, Largest int
+	// MaxInDegree and MeanInDegree describe the in-degree distribution.
+	MaxInDegree  int
+	MeanInDegree float64
+	// PowerLawAlpha is the continuous MLE exponent of the in-degree tail
+	// (degrees >= 1): alpha = 1 + n / Σ ln(d/dmin). Zero when there are
+	// no positive degrees.
+	PowerLawAlpha float64
+	// Reciprocity is the fraction of edges whose reverse edge exists.
+	Reciprocity float64
+	// Clustering is the mean local clustering coefficient over nodes with
+	// at least two (undirected) neighbors.
+	Clustering float64
+}
+
+// LinkGraph builds the blogger hyperlink graph of a corpus.
+func LinkGraph(c *blog.Corpus) *graph.Directed {
+	g := graph.New()
+	for _, id := range c.BloggerIDs() {
+		g.AddNode(string(id))
+	}
+	for _, l := range c.Links {
+		g.AddEdge(string(l.From), string(l.To))
+	}
+	return g
+}
+
+// CommentGraph builds the blogger post-reply graph (commenter → author).
+func CommentGraph(c *blog.Corpus) *graph.Directed {
+	g := graph.New()
+	for _, id := range c.BloggerIDs() {
+		g.AddNode(string(id))
+	}
+	for _, e := range blog.CommentEdges(c) {
+		if e.Commenter != e.Author {
+			g.AddEdge(string(e.Commenter), string(e.Author))
+		}
+	}
+	return g
+}
+
+// Analyze computes the structural report of a directed graph.
+func Analyze(g *graph.Directed) Report {
+	r := Report{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	if r.Nodes == 0 {
+		return r
+	}
+	comps := g.WeaklyConnectedComponents()
+	r.Components = len(comps)
+	if len(comps) > 0 {
+		r.Largest = len(comps[0])
+	}
+
+	var degSum int
+	var tail []int
+	for _, id := range g.Nodes() {
+		d := g.InDegree(id)
+		degSum += d
+		if d > r.MaxInDegree {
+			r.MaxInDegree = d
+		}
+		if d >= 1 {
+			tail = append(tail, d)
+		}
+	}
+	r.MeanInDegree = float64(degSum) / float64(r.Nodes)
+	r.PowerLawAlpha = powerLawAlpha(tail, 1)
+
+	// Reciprocity.
+	if r.Edges > 0 {
+		recip := 0
+		for _, u := range g.Nodes() {
+			for _, v := range g.Out(u) {
+				if g.HasEdge(v, u) {
+					recip++
+				}
+			}
+		}
+		r.Reciprocity = float64(recip) / float64(r.Edges)
+	}
+
+	// Local clustering over the undirected projection.
+	u := g.Undirected()
+	var ccSum float64
+	ccN := 0
+	for _, id := range u.Nodes() {
+		neigh := u.Out(id)
+		// Deduplicate and drop self.
+		set := map[string]bool{}
+		for _, v := range neigh {
+			if v != id {
+				set[v] = true
+			}
+		}
+		if len(set) < 2 {
+			continue
+		}
+		list := make([]string, 0, len(set))
+		for v := range set {
+			list = append(list, v)
+		}
+		sort.Strings(list)
+		links := 0
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				if u.HasEdge(list[i], list[j]) {
+					links++
+				}
+			}
+		}
+		possible := len(list) * (len(list) - 1) / 2
+		ccSum += float64(links) / float64(possible)
+		ccN++
+	}
+	if ccN > 0 {
+		r.Clustering = ccSum / float64(ccN)
+	}
+	return r
+}
+
+// powerLawAlpha is the continuous maximum-likelihood exponent estimate
+// for degrees >= dmin (Clauset–Shalizi–Newman form).
+func powerLawAlpha(degrees []int, dmin int) float64 {
+	if len(degrees) == 0 || dmin < 1 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, d := range degrees {
+		if d >= dmin {
+			sum += math.Log(float64(d) / float64(dmin))
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d components=%d largest=%d maxIn=%d meanIn=%.2f alpha=%.2f reciprocity=%.3f clustering=%.3f",
+		r.Nodes, r.Edges, r.Components, r.Largest, r.MaxInDegree,
+		r.MeanInDegree, r.PowerLawAlpha, r.Reciprocity, r.Clustering)
+}

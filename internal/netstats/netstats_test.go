@@ -1,0 +1,113 @@
+package netstats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mass/internal/blog"
+	"mass/internal/graph"
+	"mass/internal/synth"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze(graph.New())
+	if r.Nodes != 0 || r.Edges != 0 || r.Components != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+}
+
+func TestAnalyzeTriangle(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	r := Analyze(g)
+	if r.Nodes != 3 || r.Edges != 3 || r.Components != 1 || r.Largest != 3 {
+		t.Fatalf("triangle report = %+v", r)
+	}
+	// Directed cycle: no reverse edges.
+	if r.Reciprocity != 0 {
+		t.Fatalf("cycle reciprocity = %v", r.Reciprocity)
+	}
+	// Undirected projection is a full triangle: clustering 1.
+	if math.Abs(r.Clustering-1) > 1e-12 {
+		t.Fatalf("triangle clustering = %v", r.Clustering)
+	}
+	if r.MeanInDegree != 1 || r.MaxInDegree != 1 {
+		t.Fatalf("degrees = %+v", r)
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	g.AddEdge("a", "c")
+	r := Analyze(g)
+	if math.Abs(r.Reciprocity-2.0/3) > 1e-12 {
+		t.Fatalf("reciprocity = %v, want 2/3", r.Reciprocity)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "b")
+	g.AddEdge("x", "y")
+	g.AddNode("lonely")
+	r := Analyze(g)
+	if r.Components != 3 || r.Largest != 2 {
+		t.Fatalf("components = %+v", r)
+	}
+}
+
+func TestPowerLawAlpha(t *testing.T) {
+	// All degrees equal dmin → sum of logs 0 → alpha 0 (undefined).
+	if a := powerLawAlpha([]int{1, 1, 1}, 1); a != 0 {
+		t.Fatalf("degenerate alpha = %v", a)
+	}
+	if a := powerLawAlpha(nil, 1); a != 0 {
+		t.Fatalf("empty alpha = %v", a)
+	}
+	// A genuine heavy tail gives alpha in a plausible range.
+	degrees := []int{1, 1, 1, 1, 2, 2, 3, 4, 8, 16}
+	a := powerLawAlpha(degrees, 1)
+	if a <= 1 || a > 5 {
+		t.Fatalf("alpha = %v, want in (1, 5]", a)
+	}
+}
+
+func TestGraphBuilders(t *testing.T) {
+	c := blog.Figure1Corpus()
+	lg := LinkGraph(c)
+	if lg.NumNodes() != 9 || lg.NumEdges() != 8 {
+		t.Fatalf("link graph: %d nodes %d edges", lg.NumNodes(), lg.NumEdges())
+	}
+	cg := CommentGraph(c)
+	// Comment edges: Bob→Amery, Cary→Amery, Jane→Helen, Eddie→Helen,
+	// Leo→Michael, Dolly→Michael (Cary's two comments collapse to one edge).
+	if cg.NumEdges() != 6 {
+		t.Fatalf("comment graph edges = %d, want 6", cg.NumEdges())
+	}
+}
+
+func TestSyntheticIsHeavyTailed(t *testing.T) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 99, Bloggers: 200, Posts: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(LinkGraph(corpus))
+	if r.Nodes != 200 {
+		t.Fatalf("nodes = %d", r.Nodes)
+	}
+	// Preferential attachment: the max in-degree should dwarf the mean.
+	if float64(r.MaxInDegree) < 4*r.MeanInDegree {
+		t.Fatalf("link graph not heavy-tailed: max=%d mean=%.2f", r.MaxInDegree, r.MeanInDegree)
+	}
+	if r.PowerLawAlpha <= 1 {
+		t.Fatalf("alpha = %v, want > 1", r.PowerLawAlpha)
+	}
+	if !strings.Contains(r.String(), "alpha=") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}

@@ -1,0 +1,117 @@
+package novelty
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndicatorOriginal(t *testing.T) {
+	d := New()
+	if got := d.IndicatorScore("my own fresh thoughts about the economy"); got != OriginalScore {
+		t.Fatalf("original score = %v, want 1", got)
+	}
+}
+
+func TestIndicatorCopy(t *testing.T) {
+	d := New()
+	got := d.IndicatorScore("This great article was Reposted From another blog")
+	if got <= 0 || got > 0.1 {
+		t.Fatalf("copy score = %v, want in (0, 0.1]", got)
+	}
+}
+
+func TestIndicatorMultipleHitsLower(t *testing.T) {
+	d := New()
+	one := d.IndicatorScore("reposted from somewhere")
+	two := d.IndicatorScore("reposted from somewhere, credit to the author")
+	if !(two < one && two > 0) {
+		t.Fatalf("more indicators must lower the score: one=%v two=%v", one, two)
+	}
+}
+
+func TestIndicatorCaseInsensitive(t *testing.T) {
+	d := New()
+	if got := d.IndicatorScore("REPRINTED with permission"); got > 0.1 {
+		t.Fatalf("uppercase indicator missed: %v", got)
+	}
+}
+
+func TestScoreNearDuplicate(t *testing.T) {
+	d := New()
+	orig := "the quick brown fox jumps over the lazy dog near the riverbank today"
+	if got := d.Score(orig); got != OriginalScore {
+		t.Fatalf("first occurrence = %v, want 1", got)
+	}
+	// Verbatim copy without any credit phrase.
+	if got := d.Score(orig); got > 0.1 {
+		t.Fatalf("verbatim copy = %v, want <= 0.1", got)
+	}
+}
+
+func TestScoreDistinctTextsStayOriginal(t *testing.T) {
+	d := New()
+	if got := d.Score("completely original essay about watercolor painting and galleries"); got != OriginalScore {
+		t.Fatal("first text must be original")
+	}
+	if got := d.Score("a different report about basketball playoffs and stadium crowds"); got != OriginalScore {
+		t.Fatalf("unrelated second text = %v, want 1", got)
+	}
+}
+
+func TestScoreOrderMatters(t *testing.T) {
+	// The first occurrence is original even if a later post repeats it.
+	d := New()
+	text := "some unique string of words long enough to produce shingles here"
+	first := d.Score(text)
+	second := d.Score(text)
+	if first != OriginalScore || second > 0.1 {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	text := "repeatable content with enough words for shingles to exist okay"
+	d.Score(text)
+	if d.SeenCount() != 1 {
+		t.Fatalf("SeenCount = %d, want 1", d.SeenCount())
+	}
+	d.Reset()
+	if d.SeenCount() != 0 {
+		t.Fatal("Reset must clear memory")
+	}
+	if got := d.Score(text); got != OriginalScore {
+		t.Fatalf("after Reset the text is original again, got %v", got)
+	}
+}
+
+func TestShortTextNoShingles(t *testing.T) {
+	d := New()
+	// Too short for 4-token shingles; duplicate detection cannot fire.
+	if got := d.Score("hi"); got != OriginalScore {
+		t.Fatalf("short = %v", got)
+	}
+	if got := d.Score("hi"); got != OriginalScore {
+		t.Fatalf("repeated short text = %v, want 1 (no shingles)", got)
+	}
+}
+
+// Property: scores are always in (0, 0.1] ∪ {1}, matching the paper's rule.
+func TestScoreRangeProperty(t *testing.T) {
+	f := func(texts []string) bool {
+		d := New()
+		for _, s := range texts {
+			got := d.Score(s)
+			if got == OriginalScore {
+				continue
+			}
+			if got <= 0 || got > 0.1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

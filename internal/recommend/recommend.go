@@ -1,0 +1,116 @@
+// Package recommend implements Application Scenario 2 of MASS:
+// personalized recommendation. For a new user, the domain interests are
+// mined from their free-text profile and the top-k influential bloggers in
+// those domains are recommended; an existing blogger can instead pick a
+// domain directly, or restrict the recommendation to their friend network
+// (paper §II "Scenario 2" and §IV).
+package recommend
+
+import (
+	"fmt"
+
+	"mass/internal/blog"
+	"mass/internal/classify"
+	"mass/internal/influence"
+	"mass/internal/rank"
+)
+
+// Recommender produces personalized blogger recommendations against a
+// completed influence analysis of a corpus.
+type Recommender struct {
+	classifier classify.Classifier
+	result     *influence.Result
+	corpus     *blog.Corpus
+}
+
+// New builds a recommender over the analysis result of corpus.
+func New(classifier classify.Classifier, result *influence.Result, corpus *blog.Corpus) (*Recommender, error) {
+	if classifier == nil {
+		return nil, fmt.Errorf("recommend: classifier required")
+	}
+	if result == nil || corpus == nil {
+		return nil, fmt.Errorf("recommend: influence result and corpus required")
+	}
+	return &Recommender{classifier: classifier, result: result, corpus: corpus}, nil
+}
+
+// Recommendation is one recommended blogger with its domain-weighted score.
+type Recommendation struct {
+	Blogger blog.BloggerID
+	Score   float64
+}
+
+// ForProfile recommends top-k influential bloggers for a new user's
+// free-text profile: the profile's domain distribution weights each
+// blogger's domain influence vector.
+func (r *Recommender) ForProfile(profile string, k int) []Recommendation {
+	iv := r.classifier.Classify(profile)
+	return r.rankByVector(iv, k, nil)
+}
+
+// ForDomain recommends the top-k influential bloggers of one chosen domain
+// (the existing-blogger flow in the demo).
+func (r *Recommender) ForDomain(domain string, k int) []Recommendation {
+	iv := map[string]float64{domain: 1}
+	return r.rankByVector(iv, k, nil)
+}
+
+// ForBlogger recommends top-k bloggers for an existing member: interests
+// are mined from their stored profile, and the member themselves is
+// excluded from the results.
+func (r *Recommender) ForBlogger(id blog.BloggerID, k int) ([]Recommendation, error) {
+	b, ok := r.corpus.Bloggers[id]
+	if !ok {
+		return nil, fmt.Errorf("recommend: unknown blogger %q", id)
+	}
+	iv := r.classifier.Classify(b.Profile)
+	exclude := map[blog.BloggerID]bool{id: true}
+	return r.rankByVector(iv, k, exclude), nil
+}
+
+// WithinFriends recommends top-k bloggers for a domain restricted to the
+// member's friend network within the given radius ("the user can request
+// MASS to find influential bloggers in her/his friend network, rather than
+// the ones in the whole blogosphere", §IV).
+func (r *Recommender) WithinFriends(id blog.BloggerID, domain string, radius, k int) ([]Recommendation, error) {
+	if _, ok := r.corpus.Bloggers[id]; !ok {
+		return nil, fmt.Errorf("recommend: unknown blogger %q", id)
+	}
+	members := blog.Neighborhood(r.corpus, id, radius)
+	iv := map[string]float64{domain: 1}
+	scores := map[string]float64{}
+	for b := range members {
+		if b == id {
+			continue
+		}
+		var dot float64
+		for d, w := range iv {
+			dot += r.result.DomainScores[b][d] * w
+		}
+		scores[string(b)] = dot
+	}
+	return toRecommendations(rank.TopK(scores, k)), nil
+}
+
+func (r *Recommender) rankByVector(iv map[string]float64, k int, exclude map[blog.BloggerID]bool) []Recommendation {
+	scores := make(map[string]float64, len(r.result.DomainScores))
+	for b, dv := range r.result.DomainScores {
+		if exclude[b] {
+			continue
+		}
+		var dot float64
+		for d, w := range iv {
+			dot += dv[d] * w
+		}
+		scores[string(b)] = dot
+	}
+	return toRecommendations(rank.TopK(scores, k))
+}
+
+func toRecommendations(entries []rank.Entry) []Recommendation {
+	out := make([]Recommendation, len(entries))
+	for i, e := range entries {
+		out[i] = Recommendation{Blogger: blog.BloggerID(e.ID), Score: e.Score}
+	}
+	return out
+}

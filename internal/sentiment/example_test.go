@@ -1,0 +1,22 @@
+package sentiment_test
+
+import (
+	"fmt"
+
+	"mass/internal/sentiment"
+)
+
+func ExampleAnalyzer_Score() {
+	a := sentiment.NewAnalyzer()
+	for _, comment := range []string{
+		"I agree, great post",
+		"this is wrong and misleading",
+		"see you at the meeting",
+	} {
+		fmt.Println(a.Score(comment))
+	}
+	// Output:
+	// positive
+	// negative
+	// neutral
+}

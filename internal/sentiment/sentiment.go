@@ -1,0 +1,128 @@
+// Package sentiment implements the Comment Analyzer's attitude detection.
+// Per the paper §II, a comment's sentiment factor SF is 1.0 when positive
+// (it "contains positive words such as 'agree', 'support', 'conform'"),
+// 0.1 when negative, and 0.5 otherwise (neutral).
+//
+// The classifier is lexicon-based with simple negation handling ("not
+// great" counts as negative evidence, not positive). The SF values
+// themselves are configurable in the influence model; this package only
+// decides the polarity.
+package sentiment
+
+import (
+	"mass/internal/lexicon"
+	"mass/internal/textutil"
+)
+
+// Polarity is a comment's detected attitude.
+type Polarity int
+
+// The three attitudes the paper distinguishes.
+const (
+	Neutral Polarity = iota
+	Positive
+	Negative
+)
+
+// String renders the polarity name.
+func (p Polarity) String() string {
+	switch p {
+	case Positive:
+		return "positive"
+	case Negative:
+		return "negative"
+	default:
+		return "neutral"
+	}
+}
+
+// Analyzer detects comment polarity against the sentiment lexicons.
+// The zero value is not usable; call NewAnalyzer.
+type Analyzer struct {
+	positive map[string]struct{}
+	negative map[string]struct{}
+}
+
+// NewAnalyzer builds an analyzer from the standard lexicons.
+func NewAnalyzer() *Analyzer {
+	a := &Analyzer{
+		positive: map[string]struct{}{},
+		negative: map[string]struct{}{},
+	}
+	for _, w := range lexicon.PositiveWords() {
+		a.positive[w] = struct{}{}
+	}
+	for _, w := range lexicon.NegativeWords() {
+		a.negative[w] = struct{}{}
+	}
+	return a
+}
+
+// negators flip the polarity of the word that immediately follows.
+var negators = map[string]struct{}{
+	"not": {}, "no": {}, "never": {}, "hardly": {}, "dont": {},
+	"don't": {}, "didnt": {}, "didn't": {}, "cant": {}, "can't": {},
+	"wont": {}, "won't": {}, "isnt": {}, "isn't": {}, "wasnt": {}, "wasn't": {},
+}
+
+// Score returns the polarity of text by counting lexicon hits, with
+// single-token negation flipping. Ties and zero hits are Neutral.
+func (a *Analyzer) Score(text string) Polarity {
+	toks := textutil.Tokenize(text)
+	pos, neg := 0, 0
+	negated := false
+	for _, tok := range toks {
+		if _, isNeg := negators[tok]; isNeg {
+			negated = true
+			continue
+		}
+		_, isPos := a.positive[tok]
+		_, isNegWord := a.negative[tok]
+		switch {
+		case isPos && negated:
+			neg++
+		case isPos:
+			pos++
+		case isNegWord && negated:
+			pos++
+		case isNegWord:
+			neg++
+		}
+		negated = false
+	}
+	switch {
+	case pos > neg:
+		return Positive
+	case neg > pos:
+		return Negative
+	default:
+		return Neutral
+	}
+}
+
+// Counts returns the raw positive/negative hit counts (after negation
+// flipping), useful for diagnostics and tests.
+func (a *Analyzer) Counts(text string) (pos, neg int) {
+	toks := textutil.Tokenize(text)
+	negated := false
+	for _, tok := range toks {
+		if _, isNeg := negators[tok]; isNeg {
+			negated = true
+			continue
+		}
+		_, isPos := a.positive[tok]
+		_, isNegWord := a.negative[tok]
+		switch {
+		case isPos && negated:
+			neg++
+		case isPos:
+			pos++
+		case isNegWord && negated:
+			pos++
+		case isNegWord:
+			neg++
+		}
+		negated = false
+	}
+	return pos, neg
+}

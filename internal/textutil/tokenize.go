@@ -1,0 +1,121 @@
+// Package textutil provides the text-processing substrate used throughout
+// MASS: tokenization, stopword filtering, a light suffix stemmer, shingling
+// for near-duplicate detection, and sparse term-frequency vectors.
+//
+// All functions are deterministic and allocation-conscious; they operate on
+// plain strings so that higher layers (classification, sentiment, novelty)
+// stay independent of any particular corpus representation.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase word tokens. A token is a maximal run
+// of letters, digits, or apostrophes; apostrophes are stripped from the
+// edges so "don't" stays one token while quoting does not leak in.
+func Tokenize(text string) []string {
+	tokens := make([]string, 0, len(text)/6)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := strings.Trim(b.String(), "'")
+		if tok != "" {
+			tokens = append(tokens, tok)
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case r == '\'':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords is the standard English function-word list used by the analyzer.
+// Kept small on purpose: MASS only needs it to de-noise classification and
+// novelty features, not for retrieval-grade processing.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range strings.Fields(`a an and are as at be but by for from
+		has have he her hers him his i if in into is it its me my not of on
+		or our ours she so that the their them then there these they this to
+		us was we were what when where which who will with you your yours
+		am been being did do does doing had having how than too very can
+		just also about after before between both each few more most other
+		some such only own same s t don should now`) {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether tok is an English function word.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+// RemoveStopwords returns the tokens that are not stopwords, preserving
+// order. The input slice is not modified.
+func RemoveStopwords(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if !IsStopword(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stem applies a light suffix stemmer (a simplified Porter step-1): plural
+// and participle endings are removed when the remaining stem stays at least
+// three characters. It deliberately under-stems rather than over-stems so
+// domain vocabulary words remain distinguishable.
+func Stem(tok string) string {
+	n := len(tok)
+	switch {
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y"
+	case n > 4 && strings.HasSuffix(tok, "sses"):
+		return tok[:n-2]
+	case n > 4 && strings.HasSuffix(tok, "ing") && hasVowel(tok[:n-3]):
+		return tok[:n-3]
+	case n > 4 && strings.HasSuffix(tok, "edly"):
+		return tok[:n-4]
+	case n > 3 && strings.HasSuffix(tok, "ed") && hasVowel(tok[:n-2]):
+		return tok[:n-2]
+	case n > 3 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss") && !strings.HasSuffix(tok, "us"):
+		return tok[:n-1]
+	}
+	return tok
+}
+
+func hasVowel(s string) bool {
+	return strings.ContainsAny(s, "aeiouy")
+}
+
+// Terms is the full analyzer chain used by the classifier: tokenize,
+// drop stopwords, stem.
+func Terms(text string) []string {
+	toks := RemoveStopwords(Tokenize(text))
+	for i, t := range toks {
+		toks[i] = Stem(t)
+	}
+	return toks
+}
+
+// WordCount returns the number of word tokens in text. The paper measures
+// post quality by length; length is defined as the token count.
+func WordCount(text string) int {
+	return len(Tokenize(text))
+}

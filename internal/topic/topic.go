@@ -1,0 +1,375 @@
+// Package topic implements automatic domain discovery, the alternative to
+// predefined domains the paper mentions in §II: "The domains can be
+// predefined by the business applications or automatically discovered
+// using existing topic discovery techniques [6]."
+//
+// Discovery is spherical k-means over TF-IDF document vectors with
+// deterministic k-means++-style seeding: documents cluster by cosine
+// similarity, each cluster becomes a domain, and the cluster's top terms
+// become its label. The discovered domains plug into the rest of MASS
+// through the same Classifier interface as the predefined ones.
+package topic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mass/internal/classify"
+	"mass/internal/textutil"
+)
+
+// Config tunes discovery.
+type Config struct {
+	// K is the number of topics to discover. Required, >= 2.
+	K int
+	// Seed drives centroid initialization; equal seeds give equal topics.
+	Seed int64
+	// MaxIter bounds Lloyd iterations. Default 50.
+	MaxIter int
+	// LabelTerms is how many top terms name each topic. Default 3.
+	LabelTerms int
+	// MinDocFreq prunes terms appearing in fewer documents. Default 2.
+	MinDocFreq int
+	// Restarts runs Lloyd from several seedings and keeps the clustering
+	// with the highest within-cluster cohesion. Default 4.
+	Restarts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter == 0 {
+		c.MaxIter = 50
+	}
+	if c.LabelTerms == 0 {
+		c.LabelTerms = 3
+	}
+	if c.MinDocFreq == 0 {
+		c.MinDocFreq = 2
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 4
+	}
+	return c
+}
+
+// Topic is one discovered domain.
+type Topic struct {
+	// Label is the topic's human-readable name: its top terms joined
+	// with "/" (e.g. "basketball/stadium/coach").
+	Label string
+	// Terms are the highest-weight centroid terms.
+	Terms []string
+	// Size is the number of assigned documents.
+	Size int
+	// centroid is the TF-IDF mean of member documents.
+	centroid textutil.TermVector
+}
+
+// Model is a fitted topic model. It satisfies classify.Classifier so the
+// discovered domains can replace the predefined ones anywhere in MASS.
+type Model struct {
+	Topics []Topic
+	idf    map[string]float64
+	// Assignments[i] is the topic index of input document i.
+	Assignments []int
+	// Iterations is how many Lloyd sweeps ran before convergence.
+	Iterations int
+}
+
+var _ classify.Classifier = (*Model)(nil)
+
+// Discover clusters the documents into cfg.K topics.
+func Discover(docs []string, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("topic: K must be >= 2, got %d", cfg.K)
+	}
+	if len(docs) < cfg.K {
+		return nil, fmt.Errorf("topic: need at least K=%d documents, got %d", cfg.K, len(docs))
+	}
+
+	// TF-IDF vectors with document-frequency pruning.
+	df := map[string]int{}
+	raw := make([]textutil.TermVector, len(docs))
+	for i, d := range docs {
+		raw[i] = textutil.NewTermVector(d)
+		for t := range raw[i] {
+			df[t]++
+		}
+	}
+	idf := map[string]float64{}
+	n := float64(len(docs))
+	for t, d := range df {
+		if d >= cfg.MinDocFreq {
+			idf[t] = logf(1 + n/float64(d))
+		}
+	}
+	vecs := make([]textutil.TermVector, len(docs))
+	for i, v := range raw {
+		w := textutil.TermVector{}
+		for t, tf := range v {
+			if weight, ok := idf[t]; ok {
+				w[t] = tf * weight
+			}
+		}
+		vecs[i] = w
+	}
+
+	// Multi-restart Lloyd: each restart seeds differently (restart 0 uses
+	// farthest-point from the longest document; later restarts start from
+	// a random document), and the clustering with the best within-cluster
+	// cohesion wins. Everything is driven by one seeded RNG, so results
+	// are reproducible.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var bestAssign []int
+	var bestCentroids []textutil.TermVector
+	bestObj := -1.0
+	bestIters := 0
+	for r := 0; r < cfg.Restarts; r++ {
+		var first int
+		if r == 0 {
+			first = longestDoc(vecs)
+		} else {
+			first = rng.Intn(len(vecs))
+		}
+		seeds := seedCentroids(vecs, cfg.K, first, rng)
+		assign, centroids, iters := lloyd(vecs, seeds, cfg.MaxIter)
+		obj := cohesion(vecs, assign, centroids)
+		if obj > bestObj {
+			bestObj = obj
+			bestAssign = assign
+			bestCentroids = centroids
+			bestIters = iters
+		}
+	}
+
+	model := &Model{idf: idf, Iterations: bestIters}
+	assign, centroids := bestAssign, bestCentroids
+	model.Assignments = assign
+	model.Topics = make([]Topic, cfg.K)
+	counts := make([]int, cfg.K)
+	for _, a := range assign {
+		counts[a]++
+	}
+	for c := range model.Topics {
+		terms := centroids[c].TopTerms(cfg.LabelTerms)
+		model.Topics[c] = Topic{
+			Label:    strings.Join(terms, "/"),
+			Terms:    terms,
+			Size:     counts[c],
+			centroid: centroids[c],
+		}
+	}
+	return model, nil
+}
+
+// Labels implements classify.Classifier: the discovered topic labels in
+// sorted order.
+func (m *Model) Labels() []string {
+	out := make([]string, len(m.Topics))
+	for i, t := range m.Topics {
+		out[i] = t.Label
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classify implements classify.Classifier: cosine similarities to topic
+// centroids normalized into a distribution (uniform when no overlap).
+func (m *Model) Classify(text string) map[string]float64 {
+	v := textutil.NewTermVector(text)
+	w := textutil.TermVector{}
+	for t, tf := range v {
+		if weight, ok := m.idf[t]; ok {
+			w[t] = tf * weight
+		}
+	}
+	out := make(map[string]float64, len(m.Topics))
+	var sum float64
+	for _, t := range m.Topics {
+		s := w.Cosine(t.centroid)
+		out[t.Label] += s // += guards against duplicate labels
+		sum += s
+	}
+	if sum == 0 {
+		u := 1 / float64(len(out))
+		for l := range out {
+			out[l] = u
+		}
+		return out
+	}
+	for l := range out {
+		out[l] /= sum
+	}
+	return out
+}
+
+// Purity scores the clustering against known labels: the fraction of
+// documents whose cluster's majority label matches their own. Labels and
+// Assignments must align with the Discover input order.
+func (m *Model) Purity(labels []string) (float64, error) {
+	if len(labels) != len(m.Assignments) {
+		return 0, fmt.Errorf("topic: %d labels for %d assignments", len(labels), len(m.Assignments))
+	}
+	if len(labels) == 0 {
+		return 0, fmt.Errorf("topic: empty input")
+	}
+	majority := make([]map[string]int, len(m.Topics))
+	for i := range majority {
+		majority[i] = map[string]int{}
+	}
+	for i, a := range m.Assignments {
+		majority[a][labels[i]]++
+	}
+	correct := 0
+	for _, counts := range majority {
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(labels)), nil
+}
+
+// lloyd runs k-means assignment/update sweeps until stable (or maxIter),
+// with empty clusters reseeded from the worst-fitting document.
+func lloyd(vecs []textutil.TermVector, centroids []textutil.TermVector, maxIter int) (assign []int, outCentroids []textutil.TermVector, iters int) {
+	k := len(centroids)
+	assign = make([]int, len(vecs))
+	for iter := 1; iter <= maxIter; iter++ {
+		iters = iter
+		changed := false
+		for i, v := range vecs {
+			best, bestSim := 0, -1.0
+			for c, cen := range centroids {
+				if sim := v.Cosine(cen); sim > bestSim {
+					best, bestSim = c, sim
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]textutil.TermVector, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = textutil.TermVector{}
+		}
+		for i, v := range vecs {
+			sums[assign[i]].Add(v, 1)
+			counts[assign[i]]++
+		}
+		for c := range sums {
+			if counts[c] == 0 {
+				// Empty cluster: reseed with the document farthest from
+				// its centroid (deterministic: lowest similarity wins).
+				worstI, worstSim := -1, 2.0
+				for i, v := range vecs {
+					if sim := v.Cosine(centroids[assign[i]]); sim < worstSim {
+						worstI, worstSim = i, sim
+					}
+				}
+				if worstI >= 0 {
+					sums[c] = cloneVec(vecs[worstI])
+					counts[c] = 1
+					assign[worstI] = c
+					changed = true
+				}
+				continue
+			}
+			for t := range sums[c] {
+				sums[c][t] /= float64(counts[c])
+			}
+		}
+		centroids = sums
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids, iters
+}
+
+// cohesion is the mean cosine similarity of documents to their centroids
+// — the objective maximized across restarts.
+func cohesion(vecs []textutil.TermVector, assign []int, centroids []textutil.TermVector) float64 {
+	if len(vecs) == 0 {
+		return 0
+	}
+	var total float64
+	for i, v := range vecs {
+		total += v.Cosine(centroids[assign[i]])
+	}
+	return total / float64(len(vecs))
+}
+
+// longestDoc returns the index of the highest-norm vector.
+func longestDoc(vecs []textutil.TermVector) int {
+	best, bestNorm := 0, -1.0
+	for i, v := range vecs {
+		if nv := v.Norm(); nv > bestNorm {
+			best, bestNorm = i, nv
+		}
+	}
+	return best
+}
+
+// seedCentroids picks K initial centroids: `first` first, then repeatedly
+// the document least similar to every chosen centroid (farthest-point).
+func seedCentroids(vecs []textutil.TermVector, k, first int, rng *rand.Rand) []textutil.TermVector {
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, first)
+	for len(chosen) < k {
+		bestI, bestScore := -1, 2.0
+		for i, v := range vecs {
+			if contains(chosen, i) {
+				continue
+			}
+			// Max similarity to any chosen centroid; minimize it.
+			maxSim := -1.0
+			for _, c := range chosen {
+				if sim := v.Cosine(vecs[c]); sim > maxSim {
+					maxSim = sim
+				}
+			}
+			// Tiny deterministic jitter avoids systematic ties.
+			maxSim += rng.Float64() * 1e-9
+			if maxSim < bestScore {
+				bestI, bestScore = i, maxSim
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		chosen = append(chosen, bestI)
+	}
+	out := make([]textutil.TermVector, len(chosen))
+	for i, c := range chosen {
+		out[i] = cloneVec(vecs[c])
+	}
+	return out
+}
+
+func cloneVec(v textutil.TermVector) textutil.TermVector {
+	out := make(textutil.TermVector, len(v))
+	for t, w := range v {
+		out[t] = w
+	}
+	return out
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func logf(x float64) float64 { return math.Log(x) }

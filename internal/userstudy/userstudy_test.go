@@ -1,0 +1,135 @@
+package userstudy
+
+import (
+	"testing"
+
+	"mass/internal/blog"
+	"mass/internal/lexicon"
+	"mass/internal/synth"
+)
+
+func gtFixture(t *testing.T) *synth.GroundTruth {
+	t.Helper()
+	_, gt, err := synth.Generate(synth.Config{Seed: 41, Bloggers: 100, Posts: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gt
+}
+
+func TestScoreBounds(t *testing.T) {
+	gt := gtFixture(t)
+	ranking := gt.TrueTopK(lexicon.Sports, 3)
+	if len(ranking) == 0 {
+		t.Skip("no sports bloggers in this seed")
+	}
+	s, err := Panel{Seed: 1}.Score(ranking, lexicon.Sports, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1 || s > 5 {
+		t.Fatalf("score %v outside 1..5", s)
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	gt := gtFixture(t)
+	if _, err := (Panel{}).Score(nil, lexicon.Art, gt); err == nil {
+		t.Fatal("empty ranking must error")
+	}
+	if _, err := (Panel{}).Score([]blog.BloggerID{"x"}, lexicon.Art, nil); err == nil {
+		t.Fatal("nil ground truth must error")
+	}
+}
+
+func TestDeterministicPanel(t *testing.T) {
+	gt := gtFixture(t)
+	ranking := gt.TrueTopK(lexicon.Art, 3)
+	if len(ranking) == 0 {
+		t.Skip("no art bloggers")
+	}
+	p := Panel{Seed: 7}
+	s1, err := p.Score(ranking, lexicon.Art, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Score(ranking, lexicon.Art, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed must give same score: %v vs %v", s1, s2)
+	}
+	s3, err := Panel{Seed: 8}.Score(ranking, lexicon.Art, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s3 {
+		t.Fatal("different panels should (almost surely) differ")
+	}
+}
+
+func TestTrueExpertsBeatOffDomain(t *testing.T) {
+	gt := gtFixture(t)
+	domain := lexicon.Travel
+	experts := gt.TrueTopK(domain, 3)
+	if len(experts) < 3 {
+		t.Skip("not enough travel bloggers")
+	}
+	// Off-domain list: top Sports bloggers evaluated for Travel.
+	offDomain := gt.TrueTopK(lexicon.Sports, 3)
+	p := Panel{Seed: 11}
+	sExpert, err := p.Score(experts, domain, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sOff, err := p.Score(offDomain, domain, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sExpert <= sOff {
+		t.Fatalf("domain experts must outscore off-domain bloggers: %v vs %v", sExpert, sOff)
+	}
+	if sExpert < 3.5 {
+		t.Fatalf("true experts should score well, got %v", sExpert)
+	}
+}
+
+func TestHaloCreditExists(t *testing.T) {
+	// A generally prominent blogger earns more than a nobody, even
+	// off-domain.
+	gt := &synth.GroundTruth{
+		Expertise: map[blog.BloggerID]map[string]float64{
+			"star":   {lexicon.Sports: 1.0},
+			"nobody": {lexicon.Sports: 0.01},
+		},
+		PrimaryDomain: map[blog.BloggerID]string{"star": lexicon.Sports, "nobody": lexicon.Sports},
+		Activity:      map[blog.BloggerID]float64{"star": 1, "nobody": 0.05},
+	}
+	p := Panel{Seed: 3, NoiseAmplitude: 0.01}
+	sStar, err := p.Score([]blog.BloggerID{"star"}, lexicon.Art, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sNobody, err := p.Score([]blog.BloggerID{"nobody"}, lexicon.Art, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sStar <= sNobody {
+		t.Fatalf("halo effect missing: star %v <= nobody %v", sStar, sNobody)
+	}
+	// But even the star cannot reach expert-level scores off-domain.
+	if sStar > 4 {
+		t.Fatalf("off-domain star scored %v, halo too strong", sStar)
+	}
+}
+
+func TestPanelSizeDefaultsToTen(t *testing.T) {
+	p := Panel{}.withDefaults()
+	if p.Judges != 10 {
+		t.Fatalf("default judges = %d, want 10 (as in the paper)", p.Judges)
+	}
+	if p.HaloWeight+p.DomainWeight != 1 {
+		t.Fatalf("weights must sum to 1: %v + %v", p.HaloWeight, p.DomainWeight)
+	}
+}

@@ -1,0 +1,214 @@
+// Package xmlstore persists blogosphere corpora as XML, matching the
+// paper's Crawler Module, which "stores the bloggers' information
+// (including the bloggers' personal information, posts, and corresponding
+// comments) in XML files".
+//
+// Two layouts are supported: a single snapshot file (Save/Load) and a
+// sharded directory with one XML file per blogger (SaveShards/LoadShards),
+// which is what a multi-threaded crawler naturally produces.
+package xmlstore
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mass/internal/blog"
+)
+
+// fileDoc is the on-disk schema of a snapshot file.
+type fileDoc struct {
+	XMLName  xml.Name       `xml:"blogosphere"`
+	Bloggers []blog.Blogger `xml:"bloggers>blogger"`
+	Posts    []blog.Post    `xml:"posts>post"`
+	Links    []blog.Link    `xml:"links>link"`
+}
+
+// shardDoc is the on-disk schema of a per-blogger shard: the blogger, their
+// posts, and their outgoing links.
+type shardDoc struct {
+	XMLName xml.Name     `xml:"space"`
+	Blogger blog.Blogger `xml:"blogger"`
+	Posts   []blog.Post  `xml:"posts>post"`
+	Links   []blog.Link  `xml:"links>link"`
+}
+
+// Write encodes the corpus as a single XML document to w.
+func Write(w io.Writer, c *blog.Corpus) error {
+	doc := fileDoc{}
+	for _, id := range c.BloggerIDs() {
+		doc.Bloggers = append(doc.Bloggers, *c.Bloggers[id])
+	}
+	for _, id := range c.PostIDs() {
+		doc.Posts = append(doc.Posts, *c.Posts[id])
+	}
+	doc.Links = append(doc.Links, c.Links...)
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("xmlstore: encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// Read decodes a corpus from a single XML document, rebuilding all indexes
+// and validating referential integrity.
+func Read(r io.Reader) (*blog.Corpus, error) {
+	var doc fileDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlstore: decode: %w", err)
+	}
+	return assemble(doc.Bloggers, doc.Posts, doc.Links)
+}
+
+// Save writes the corpus snapshot to path, creating parent directories.
+func Save(path string, c *blog.Corpus) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a corpus snapshot from path.
+func Load(path string) (*blog.Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// SaveShards writes one XML file per blogger into dir (created if needed).
+// File names are sanitized blogger IDs with an .xml suffix.
+func SaveShards(dir string, c *blog.Corpus) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	outBy := map[blog.BloggerID][]blog.Link{}
+	for _, l := range c.Links {
+		outBy[l.From] = append(outBy[l.From], l)
+	}
+	for _, id := range c.BloggerIDs() {
+		doc := shardDoc{Blogger: *c.Bloggers[id]}
+		for _, pid := range c.PostsBy(id) {
+			doc.Posts = append(doc.Posts, *c.Posts[pid])
+		}
+		doc.Links = outBy[id]
+		path := filepath.Join(dir, sanitize(string(id))+".xml")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(f, xml.Header); err != nil {
+			f.Close()
+			return err
+		}
+		enc := xml.NewEncoder(f)
+		enc.Indent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return fmt.Errorf("xmlstore: shard %s: %w", id, err)
+		}
+		if err := enc.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadShards reads every *.xml shard in dir and assembles the corpus.
+func LoadShards(dir string) (*blog.Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bloggers []blog.Blogger
+	var posts []blog.Post
+	var links []blog.Link
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var doc shardDoc
+		err = xml.NewDecoder(f).Decode(&doc)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("xmlstore: shard %s: %w", name, err)
+		}
+		bloggers = append(bloggers, doc.Blogger)
+		posts = append(posts, doc.Posts...)
+		links = append(links, doc.Links...)
+	}
+	return assemble(bloggers, posts, links)
+}
+
+// assemble builds a validated corpus from decoded parts.
+func assemble(bloggers []blog.Blogger, posts []blog.Post, links []blog.Link) (*blog.Corpus, error) {
+	c := blog.NewCorpus()
+	for i := range bloggers {
+		b := bloggers[i]
+		if err := c.AddBlogger(&b); err != nil {
+			return nil, fmt.Errorf("xmlstore: %w", err)
+		}
+	}
+	for i := range posts {
+		p := posts[i]
+		if err := c.AddPost(&p); err != nil {
+			return nil, fmt.Errorf("xmlstore: %w", err)
+		}
+	}
+	for _, l := range links {
+		if err := c.AddLink(l.From, l.To); err != nil {
+			return nil, fmt.Errorf("xmlstore: %w", err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("xmlstore: %w", err)
+	}
+	return c, nil
+}
+
+// sanitize maps a blogger ID to a safe file name.
+func sanitize(id string) string {
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
