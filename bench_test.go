@@ -256,6 +256,60 @@ func BenchmarkSolverWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalReanalysis compares a cold full-pipeline Analyze
+// against the warm incremental path (AnalyzeWarm seeded from the previous
+// result) after a small batch of new posts lands — the engine's live
+// re-scoring hot path. Warm skips re-classifying every pre-existing post
+// and converges in a handful of sweeps.
+func BenchmarkIncrementalReanalysis(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 300, Posts: 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 30, 2011))
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := influence.NewAnalyzer(influence.Config{Workers: 4}, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := an.Analyze(corpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A small live batch arrives: 32 new posts with one comment each.
+	grown := corpus.Snapshot()
+	authors := grown.BloggerIDs()
+	for i := 0; i < 32; i++ {
+		if err := grown.AddPost(&blog.Post{
+			ID: blog.PostID(fmt.Sprintf("inc-%d", i)), Author: authors[i%11],
+			Body: fmt.Sprintf("breaking travel coverage with fresh sports analysis, issue %d", i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := grown.AddComment(blog.PostID(fmt.Sprintf("inc-%d", i)), blog.Comment{
+			Commenter: authors[(i+5)%len(authors)], Text: "great update, thanks",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := an.Analyze(grown); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := an.AnalyzeWarm(grown, prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPageRank isolates the GL authority computation.
 func BenchmarkPageRank(b *testing.B) {
 	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 1000, Posts: 2000})

@@ -1,47 +1,120 @@
-// Command mass-server runs the MASS User Interface Module as an HTTP/JSON
-// service over an analyzed corpus: rankings, both recommendation
-// scenarios, per-blogger influence details and post-reply network exports
+// Command mass-server runs MASS as a live HTTP/JSON service: queries are
+// answered from the ingestion engine's current snapshot while new posts,
+// comments and links arrive through the mutation endpoints (or a streaming
+// crawl), and the corpus is re-analyzed incrementally in the background
 // (see internal/api for the endpoint list).
 //
 // Usage:
 //
-//	mass-server -corpus crawl.xml -addr :8080
+//	mass-server -corpus crawl.xml -addr :8080          serve a snapshot, keep ingesting
+//	mass-server -addr :8080                            start empty, ingest over HTTP
+//	mass-server -crawl http://blogs:9090 -seed Amery   stream-crawl into the engine
+//
 //	curl localhost:8080/api/top?k=3
-//	curl -X POST localhost:8080/api/advert -d '{"text":"new basketball sneakers","k":3}'
+//	curl -X POST localhost:8080/api/posts -d '{"id":"p9","author":"Zoe","body":"..."}'
+//	curl localhost:8080/api/engine
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests finish and
+// pending mutations are folded into a final snapshot.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mass/internal/api"
+	"mass/internal/blog"
 	"mass/internal/core"
+	"mass/internal/crawler"
+	"mass/internal/xmlstore"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mass-server: ")
 	var (
-		corpusPath = flag.String("corpus", "corpus.xml", "XML corpus snapshot")
-		addr       = flag.String("addr", ":8080", "listen address")
+		corpusPath    = flag.String("corpus", "", "XML corpus snapshot to preload (empty: start with no data)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		flushEvery    = flag.Int("flush-every", 64, "re-analyze after this many mutations")
+		flushInterval = flag.Duration("flush-interval", 2*time.Second, "re-analyze pending mutations at least this often")
+		crawlURL      = flag.String("crawl", "", "blog service base URL to stream-crawl into the engine")
+		crawlSeed     = flag.String("seed", "", "seed blogger for -crawl")
+		crawlWorkers  = flag.Int("crawl-workers", 4, "concurrent fetchers for -crawl")
+		crawlRadius   = flag.Int("crawl-radius", 2, "BFS radius for -crawl")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var corpus *blog.Corpus
+	if *corpusPath != "" {
+		var err error
+		if corpus, err = xmlstore.Load(*corpusPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	t0 := time.Now()
-	sys, err := core.LoadFile(*corpusPath, core.Options{})
+	engine, err := core.NewEngine(corpus, core.EngineOptions{
+		FlushEvery:    *flushEvery,
+		FlushInterval: *flushInterval,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("analyzed %s in %s (%s)\n", *corpusPath, time.Since(t0).Round(time.Millisecond), sys.Stats())
-	fmt.Printf("listening on %s\n", *addr)
+	snap := engine.Current()
+	fmt.Printf("initial analysis in %s (%s)\n", time.Since(t0).Round(time.Millisecond), snap.Stats())
+
+	if *crawlURL != "" {
+		if *crawlSeed == "" {
+			log.Fatal("-crawl requires -seed")
+		}
+		go func() {
+			cr := crawler.New(crawler.Config{Workers: *crawlWorkers, Radius: *crawlRadius}, nil)
+			stats, err := cr.Stream(ctx, *crawlURL, blog.BloggerID(*crawlSeed), engine)
+			if err != nil {
+				log.Printf("streaming crawl: %v", err)
+				return
+			}
+			fmt.Printf("streaming crawl done: %d spaces in %s (depth %d, %d failed)\n",
+				stats.Fetched, stats.Elapsed.Round(time.Millisecond), stats.Depth, stats.Failed)
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.New(sys),
+		Handler:           api.NewEngine(engine),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		fmt.Println("shutting down ...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	fmt.Printf("listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained // in-flight requests finish before the engine closes
+	if err := engine.Close(); err != nil {
+		log.Printf("closing engine: %v", err)
+	}
+	st := engine.Status()
+	fmt.Printf("bye (seq %d, %d mutations ingested)\n", st.Seq, st.TotalMutations)
 }

@@ -1,0 +1,3 @@
+module mass
+
+go 1.24

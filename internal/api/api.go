@@ -15,15 +15,30 @@
 //	GET /api/network/{id}?radius=2         Fig. 4 network as JSON
 //	GET /api/network/{id}.svg?radius=2     Fig. 4 network as SVG
 //	GET /api/trends?buckets=8&emerging=5   domain trends + emerging bloggers
+//
+// When the server is built over a live Engine (NewEngine), reads are served
+// from the engine's current snapshot and three ingestion endpoints accept
+// new data — each takes a single object or a JSON array of them:
+//
+//	POST /api/posts     {"id":...,"author":...,"title":...,"body":...,"tags":[...]}
+//	POST /api/comments  {"post":...,"commenter":...,"text":...}
+//	POST /api/links     {"from":...,"to":...}
+//	GET  /api/engine    ingestion/re-analysis status
+//
+// Ingested data becomes visible to reads after the engine's next debounced
+// re-analysis (see /api/engine for the pending count).
 package api
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"mass/internal/blog"
 	"mass/internal/core"
@@ -31,15 +46,28 @@ import (
 	"mass/internal/trend"
 )
 
-// Server wraps an analyzed System as an http.Handler.
+// Server wraps an analyzed System — static, or the live snapshots of an
+// Engine — as an http.Handler.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+	current func() *core.System
+	engine  *core.Engine // nil in static (read-only) mode
+	mux     *http.ServeMux
 }
 
-// New builds the API server over an analyzed system.
+// New builds the API server over a single analyzed system. The ingestion
+// endpoints respond 503: this is the frozen-corpus compatibility mode.
 func New(sys *core.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+	return newServer(func() *core.System { return sys }, nil)
+}
+
+// NewEngine builds the API server over a live ingestion engine: reads hit
+// the engine's current snapshot and the ingestion endpoints mutate it.
+func NewEngine(e *core.Engine) *Server {
+	return newServer(func() *core.System { return e.Current().System }, e)
+}
+
+func newServer(current func() *core.System, e *core.Engine) *Server {
+	s := &Server{current: current, engine: e, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/api/stats", s.handleStats)
 	s.mux.HandleFunc("/api/top", s.handleTop)
 	s.mux.HandleFunc("/api/domains", s.handleDomains)
@@ -49,6 +77,10 @@ func New(sys *core.System) *Server {
 	s.mux.HandleFunc("/api/profile", s.handleProfile)
 	s.mux.HandleFunc("/api/network/", s.handleNetwork)
 	s.mux.HandleFunc("/api/trends", s.handleTrends)
+	s.mux.HandleFunc("/api/posts", s.handlePosts)
+	s.mux.HandleFunc("/api/comments", s.handleComments)
+	s.mux.HandleFunc("/api/links", s.handleLinks)
+	s.mux.HandleFunc("/api/engine", s.handleEngine)
 	return s
 }
 
@@ -68,7 +100,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w)
 		return
 	}
-	writeJSON(w, s.sys.Stats())
+	writeJSON(w, s.current().Stats())
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -77,9 +109,10 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := intParam(r, "k", 3)
-	res := s.sys.Result()
+	sys := s.current()
+	res := sys.Result()
 	out := make([]scored, 0, k)
-	for _, b := range s.sys.TopInfluential(k) {
+	for _, b := range sys.TopInfluential(k) {
 		out = append(out, scored{Blogger: b, Score: res.BloggerScores[b]})
 	}
 	writeJSON(w, out)
@@ -104,9 +137,10 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := intParam(r, "k", 3)
-	res := s.sys.Result()
+	sys := s.current()
+	res := sys.Result()
 	out := make([]scored, 0, k)
-	for _, b := range s.sys.TopInDomain(domain, k) {
+	for _, b := range sys.TopInDomain(domain, k) {
 		out = append(out, scored{Blogger: b, Score: res.DomainScores[b][domain]})
 	}
 	writeJSON(w, out)
@@ -137,13 +171,14 @@ func (s *Server) handleBlogger(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := blog.BloggerID(strings.TrimPrefix(r.URL.Path, "/api/blogger/"))
-	c := s.sys.Corpus()
+	sys := s.current()
+	c := sys.Corpus()
 	b, ok := c.Bloggers[id]
 	if !ok {
 		http.Error(w, fmt.Sprintf("unknown blogger %q", id), http.StatusNotFound)
 		return
 	}
-	res := s.sys.Result()
+	res := sys.Result()
 	detail := bloggerDetail{
 		ID:           id,
 		Name:         b.Name,
@@ -191,13 +226,14 @@ func (s *Server) handleAdvert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "provide text or domains", http.StatusBadRequest)
 		return
 	}
+	sys := s.current()
 	var out []scored
 	if req.Text != "" {
-		for _, rec := range s.sys.AdvertiseText(req.Text, req.K) {
+		for _, rec := range sys.AdvertiseText(req.Text, req.K) {
 			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
 		}
 	} else {
-		for _, rec := range s.sys.AdvertiseDomains(req.Domains, req.K) {
+		for _, rec := range sys.AdvertiseDomains(req.Domains, req.K) {
 			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
 		}
 	}
@@ -223,7 +259,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var out []scored
-	for _, rec := range s.sys.RecommendForProfile(req.Text, req.K) {
+	for _, rec := range s.current().RecommendForProfile(req.Text, req.K) {
 		out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
 	}
 	writeJSON(w, out)
@@ -238,7 +274,7 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	svg := strings.HasSuffix(rest, ".svg")
 	id := blog.BloggerID(strings.TrimSuffix(rest, ".svg"))
 	radius := intParam(r, "radius", 2)
-	net, err := s.sys.Network(id, radius, 1)
+	net, err := s.current().Network(id, radius, 1)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -259,7 +295,8 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	buckets := intParam(r, "buckets", 8)
-	rep, err := trend.Analyze(s.sys.Corpus(), s.sys.Result(), trend.Config{
+	sys := s.current()
+	rep, err := trend.Analyze(sys.Corpus(), sys.Result(), trend.Config{
 		Buckets:     buckets,
 		TopEmerging: intParam(r, "emerging", 5),
 	})
@@ -268,6 +305,180 @@ func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, rep)
+}
+
+// ----------------------------------------------------------- ingestion
+
+// postRequest is one new post (POST /api/posts).
+type postRequest struct {
+	ID     blog.PostID    `json:"id"`
+	Author blog.BloggerID `json:"author"`
+	Title  string         `json:"title"`
+	Body   string         `json:"body"`
+	Posted time.Time      `json:"posted"`
+	Tags   []string       `json:"tags"`
+}
+
+// commentRequest is one new comment (POST /api/comments).
+type commentRequest struct {
+	Post      blog.PostID    `json:"post"`
+	Commenter blog.BloggerID `json:"commenter"`
+	Text      string         `json:"text"`
+	Posted    time.Time      `json:"posted"`
+}
+
+// linkRequest is one new hyperlink (POST /api/links).
+type linkRequest struct {
+	From blog.BloggerID `json:"from"`
+	To   blog.BloggerID `json:"to"`
+}
+
+// ingestResponse acknowledges accepted mutations. Accepted data becomes
+// visible to reads after the next re-analysis; Seq identifies the snapshot
+// the caller was served from.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Pending  int    `json:"pending"`
+	Seq      uint64 `json:"seq"`
+}
+
+// maxBodyBytes caps ingestion request bodies; a runaway client must not be
+// able to buffer gigabytes into server memory.
+const maxBodyBytes = 8 << 20
+
+// decodeOneOrMany decodes the request body into *T or []T depending on the
+// leading token, returning the slice either way.
+func decodeOneOrMany[T any](w http.ResponseWriter, r *http.Request) ([]T, bool) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w)
+		return nil, false
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var many []T
+		if err := json.Unmarshal(data, &many); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return nil, false
+		}
+		return many, true
+	}
+	var one T
+	if err := json.Unmarshal(data, &one); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return []T{one}, true
+}
+
+// requireEngine rejects mutations in static mode.
+func (s *Server) requireEngine(w http.ResponseWriter) bool {
+	if s.engine == nil {
+		http.Error(w, "read-only: server built without an ingestion engine", http.StatusServiceUnavailable)
+		return false
+	}
+	return true
+}
+
+func (s *Server) ackIngest(w http.ResponseWriter, accepted int) {
+	st := s.engine.Status()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(ingestResponse{Accepted: accepted, Pending: st.Pending, Seq: st.Seq})
+}
+
+func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
+	reqs, ok := decodeOneOrMany[postRequest](w, r)
+	if !ok {
+		return
+	}
+	batch := core.Batch{}
+	for _, pr := range reqs {
+		batch.Posts = append(batch.Posts, &blog.Post{
+			ID: pr.ID, Author: pr.Author, Title: pr.Title,
+			Body: pr.Body, Posted: pr.Posted, Tags: pr.Tags,
+		})
+	}
+	if err := s.engine.AddBatch(batch); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.ackIngest(w, len(reqs))
+}
+
+func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
+	reqs, ok := decodeOneOrMany[commentRequest](w, r)
+	if !ok {
+		return
+	}
+	batch := core.Batch{}
+	for _, cr := range reqs {
+		batch.Comments = append(batch.Comments, core.BatchComment{
+			Post: cr.Post,
+			Comment: blog.Comment{
+				Commenter: cr.Commenter, Text: cr.Text, Posted: cr.Posted,
+			},
+		})
+	}
+	if err := s.engine.AddBatch(batch); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.ackIngest(w, len(reqs))
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
+	reqs, ok := decodeOneOrMany[linkRequest](w, r)
+	if !ok {
+		return
+	}
+	batch := core.Batch{}
+	for _, lr := range reqs {
+		batch.Links = append(batch.Links, blog.Link{From: lr.From, To: lr.To})
+	}
+	if err := s.engine.AddBatch(batch); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.ackIngest(w, len(reqs))
+}
+
+// engineResponse is the /api/engine payload. Live is false in static mode;
+// the corpus counts are real either way, the ingestion counters (seq,
+// pending, totalMutations, …) are meaningful only when live.
+type engineResponse struct {
+	Live bool `json:"live"`
+	core.EngineStatus
+}
+
+func (s *Server) handleEngine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w)
+		return
+	}
+	if s.engine == nil {
+		c := s.current().Corpus()
+		writeJSON(w, engineResponse{Live: false, EngineStatus: core.EngineStatus{
+			Bloggers: len(c.Bloggers),
+			Posts:    len(c.Posts),
+			Links:    len(c.Links),
+		}})
+		return
+	}
+	writeJSON(w, engineResponse{Live: true, EngineStatus: s.engine.Status()})
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -284,7 +495,7 @@ func decodePost(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 		methodNotAllowed(w)
 		return false
 	}
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
 		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
 		return false
 	}

@@ -1,0 +1,113 @@
+package blog
+
+import "fmt"
+
+// Copy-on-write corpus snapshotting.
+//
+// A live ingestion engine mutates one corpus while query traffic reads a
+// frozen view of it. Snapshot produces that view cheaply: every map, index
+// and slice is copied so the two corpora are structurally independent, but
+// the Blogger and Post structs themselves are shared. The contract that
+// makes sharing safe is copy-on-write on the mutable side: after taking a
+// snapshot, the owner must never modify a shared entity in place — it
+// replaces the map entry with an edited clone (AddComment and UpsertBlogger
+// below do exactly that). Readers of the snapshot therefore never observe a
+// torn or changing entity.
+
+// Snapshot returns an independent read-only view of the corpus. The
+// returned corpus owns fresh maps, index maps and slices; only the *Blogger
+// and *Post structs are shared with the receiver. Continue mutating the
+// receiver exclusively through the COW helpers (AddBlogger, AddPost,
+// AddComment, AddLink, UpsertBlogger) and the snapshot stays immutable.
+func (c *Corpus) Snapshot() *Corpus {
+	s := &Corpus{
+		Bloggers:      make(map[BloggerID]*Blogger, len(c.Bloggers)),
+		Posts:         make(map[PostID]*Post, len(c.Posts)),
+		Links:         append(make([]Link, 0, len(c.Links)), c.Links...),
+		postsByAuthor: make(map[BloggerID][]PostID, len(c.postsByAuthor)),
+		totalComments: make(map[BloggerID]int, len(c.totalComments)),
+		outLinks:      make(map[BloggerID][]BloggerID, len(c.outLinks)),
+		inLinks:       make(map[BloggerID][]BloggerID, len(c.inLinks)),
+	}
+	for id, b := range c.Bloggers {
+		s.Bloggers[id] = b
+	}
+	for id, p := range c.Posts {
+		s.Posts[id] = p
+	}
+	for id, posts := range c.postsByAuthor {
+		s.postsByAuthor[id] = append(make([]PostID, 0, len(posts)), posts...)
+	}
+	for id, n := range c.totalComments {
+		s.totalComments[id] = n
+	}
+	for id, out := range c.outLinks {
+		s.outLinks[id] = append(make([]BloggerID, 0, len(out)), out...)
+	}
+	for id, in := range c.inLinks {
+		s.inLinks[id] = append(make([]BloggerID, 0, len(in)), in...)
+	}
+	return s
+}
+
+// AddComment appends a comment to an existing post, copy-on-write: the post
+// struct is cloned and the map entry replaced, so snapshots sharing the old
+// struct are unaffected. The commenter must already exist.
+func (c *Corpus) AddComment(pid PostID, cm Comment) error {
+	p, ok := c.Posts[pid]
+	if !ok {
+		return fmt.Errorf("blog: comment on unknown post %q", pid)
+	}
+	if _, ok := c.Bloggers[cm.Commenter]; !ok {
+		return fmt.Errorf("blog: comment on %q by unknown commenter %q", pid, cm.Commenter)
+	}
+	clone := *p
+	clone.Comments = append(append(make([]Comment, 0, len(p.Comments)+1), p.Comments...), cm)
+	c.Posts[pid] = &clone
+	c.totalComments[cm.Commenter]++
+	return nil
+}
+
+// AddLinkDedup records a hyperlink unless the identical edge already
+// exists — crawls report most edges from both endpoints, and a live feed
+// may re-deliver them.
+func (c *Corpus) AddLinkDedup(from, to BloggerID) (added bool, err error) {
+	for _, existing := range c.outLinks[from] {
+		if existing == to {
+			return false, nil
+		}
+	}
+	if err := c.AddLink(from, to); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// UpsertBlogger inserts b, or enriches an existing entry copy-on-write:
+// non-empty Name/Profile and a non-nil Friends list overwrite the stored
+// values on a clone of the struct, never in place. This is the streaming
+// crawler's "fill in the stub I created earlier" operation.
+func (c *Corpus) UpsertBlogger(b *Blogger) error {
+	if b == nil || b.ID == "" {
+		return fmt.Errorf("blog: blogger must have a non-empty ID")
+	}
+	existing, ok := c.Bloggers[b.ID]
+	if !ok {
+		nb := *b
+		nb.Friends = append([]BloggerID(nil), b.Friends...)
+		c.Bloggers[b.ID] = &nb
+		return nil
+	}
+	clone := *existing
+	if b.Name != "" {
+		clone.Name = b.Name
+	}
+	if b.Profile != "" {
+		clone.Profile = b.Profile
+	}
+	if b.Friends != nil {
+		clone.Friends = append([]BloggerID(nil), b.Friends...)
+	}
+	c.Bloggers[b.ID] = &clone
+	return nil
+}

@@ -69,23 +69,25 @@ type System struct {
 	persRec    *recommend.Recommender
 }
 
-// FromCorpus analyzes an in-memory corpus.
-func FromCorpus(c *blog.Corpus, opts Options) (*System, error) {
-	opts = opts.withDefaults()
-	cl := opts.Classifier
-	if cl == nil {
-		nb, err := classify.TrainNaiveBayes(
-			synth.TrainingExamples(opts.Domains, opts.TrainingPerDomain, opts.TrainingSeed))
-		if err != nil {
-			return nil, fmt.Errorf("core: training classifier: %w", err)
-		}
-		cl = nb
+// buildClassifier resolves the classifier to use: the explicit one, or a
+// naive Bayes model trained on synthetic domain snippets.
+func (o Options) buildClassifier() (classify.Classifier, error) {
+	if o.Classifier != nil {
+		return o.Classifier, nil
 	}
-	an, err := influence.NewAnalyzer(opts.Influence, cl)
+	nb, err := classify.TrainNaiveBayes(
+		synth.TrainingExamples(o.Domains, o.TrainingPerDomain, o.TrainingSeed))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: training classifier: %w", err)
 	}
-	res, err := an.Analyze(c)
+	return nb, nil
+}
+
+// newSystem runs the analysis pipeline over c — warm-started from prev when
+// non-nil — and assembles the query-side recommenders. It is the shared
+// build step behind FromCorpus (cold, once) and Engine (warm, repeatedly).
+func newSystem(c *blog.Corpus, opts Options, cl classify.Classifier, an *influence.Analyzer, prev *influence.Result) (*System, error) {
+	res, err := an.AnalyzeWarm(c, prev)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +107,22 @@ func FromCorpus(c *blog.Corpus, opts Options) (*System, error) {
 		adRec:      adRec,
 		persRec:    persRec,
 	}, nil
+}
+
+// FromCorpus analyzes an in-memory corpus once. It remains the one-shot
+// path for batch tooling and examples; a serving process should wrap the
+// corpus in an Engine instead.
+func FromCorpus(c *blog.Corpus, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	cl, err := opts.buildClassifier()
+	if err != nil {
+		return nil, err
+	}
+	an, err := influence.NewAnalyzer(opts.Influence, cl)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(c, opts, cl, an, nil)
 }
 
 // LoadFile builds a System from an XML snapshot produced by SaveCorpus or

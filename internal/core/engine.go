@@ -1,0 +1,649 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/blogserver"
+	"mass/internal/classify"
+	"mass/internal/influence"
+)
+
+// EngineOptions configures a live Engine.
+type EngineOptions struct {
+	// Options are the analysis options, as for FromCorpus. When
+	// Options.Influence.Workers is zero the engine raises it to
+	// runtime.GOMAXPROCS(0) so the classifier pass over new posts runs on a
+	// bounded worker pool instead of serially.
+	Options
+	// FlushEvery re-analyzes after this many mutations have accumulated.
+	// Default 64.
+	FlushEvery int
+	// FlushInterval re-analyzes pending mutations at least this often, even
+	// below the FlushEvery threshold. Default 2s.
+	FlushInterval time.Duration
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	o.Options = o.Options.withDefaults()
+	if o.Influence.Workers == 0 {
+		o.Influence.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.FlushEvery == 0 {
+		o.FlushEvery = 64
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = 2 * time.Second
+	}
+	return o
+}
+
+// Snapshot is one published generation of the analyzed blogosphere: an
+// immutable System plus bookkeeping about how it was produced. Queries hold
+// a Snapshot for as long as they need a consistent view; the engine swaps
+// in new generations underneath without disturbing them.
+type Snapshot struct {
+	*System
+	// Seq is the analysis generation, starting at 1 for the initial build.
+	Seq uint64
+	// Mutations is the total number of mutations folded in up to this
+	// generation.
+	Mutations uint64
+	// Elapsed is how long the re-analysis behind this snapshot took.
+	Elapsed time.Duration
+}
+
+// EngineStatus is a point-in-time health report (the /api/engine payload).
+type EngineStatus struct {
+	Seq              uint64        `json:"seq"`
+	Pending          int           `json:"pending"`
+	TotalMutations   uint64        `json:"totalMutations"`
+	Bloggers         int           `json:"bloggers"`
+	Posts            int           `json:"posts"`
+	Links            int           `json:"links"`
+	LastAnalysis     time.Duration `json:"lastAnalysisNs"`
+	Iterations       int           `json:"iterations"`
+	Converged        bool          `json:"converged"`
+	ReusedPosteriors int           `json:"reusedPosteriors"`
+	Closed           bool          `json:"closed"`
+	// LastError is the most recent re-analysis failure ("" when the last
+	// attempt succeeded). Failed analyses keep their mutations pending, so
+	// the flusher retries them on the next tick.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Engine is the live serving core: it owns a mutable corpus behind an
+// ingestion API and publishes immutable, atomically swapped Snapshots for
+// the query side. Reads (Current) are lock-free; writes take a short
+// mutex only to apply the mutation, never to analyze. Re-analysis is
+// debounced — it runs on a background goroutine after FlushEvery mutations
+// or FlushInterval elapsed, warm-started from the previous generation so
+// incremental batches converge in a handful of sweeps.
+//
+// Unknown authors, commenters and link endpoints are admitted as stub
+// bloggers (ID only), mirroring what a live crawl knows about a reference
+// before fetching it; a later AddBlogger/IngestPage enriches the stub.
+type Engine struct {
+	opts EngineOptions
+	cl   classify.Classifier
+	an   *influence.Analyzer
+
+	snap atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex // guards corpus, pending, total, closed, lastErr
+	corpus  *blog.Corpus
+	pending int
+	total   uint64
+	closed  bool
+	lastErr error
+
+	// analyzeSem serializes re-analysis (flusher vs Refresh); a channel
+	// rather than a mutex so Refresh can give up when its context expires.
+	analyzeSem chan struct{}
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+}
+
+// NewEngine builds an engine over an initial corpus (nil means start
+// empty), runs the initial analysis synchronously so Current never returns
+// nil, and starts the background flusher. Callers must Close the engine to
+// stop it.
+func NewEngine(c *blog.Corpus, opts EngineOptions) (*Engine, error) {
+	opts = opts.withDefaults()
+	if c == nil {
+		c = blog.NewCorpus()
+	}
+	cl, err := opts.buildClassifier()
+	if err != nil {
+		return nil, err
+	}
+	an, err := influence.NewAnalyzer(opts.Influence, cl)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:       opts,
+		cl:         cl,
+		an:         an,
+		corpus:     c,
+		analyzeSem: make(chan struct{}, 1),
+		kick:       make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if err := e.rebuild(nil); err != nil {
+		return nil, err
+	}
+	go e.flusher()
+	return e, nil
+}
+
+// Current returns the latest published snapshot. It never blocks and never
+// returns nil.
+func (e *Engine) Current() *Snapshot { return e.snap.Load() }
+
+// Status reports the engine's health counters.
+func (e *Engine) Status() EngineStatus {
+	e.mu.Lock()
+	pending, total, closed := e.pending, e.total, e.closed
+	bloggers, posts, links := len(e.corpus.Bloggers), len(e.corpus.Posts), len(e.corpus.Links)
+	lastErr := ""
+	if e.lastErr != nil {
+		lastErr = e.lastErr.Error()
+	}
+	e.mu.Unlock()
+	s := e.Current()
+	return EngineStatus{
+		Seq:              s.Seq,
+		Pending:          pending,
+		TotalMutations:   total,
+		Bloggers:         bloggers,
+		Posts:            posts,
+		Links:            links,
+		LastAnalysis:     s.Elapsed,
+		Iterations:       s.Result().Iterations,
+		Converged:        s.Result().Converged,
+		ReusedPosteriors: s.Result().ReusedPosteriors,
+		Closed:           closed,
+		LastError:        lastErr,
+	}
+}
+
+// --------------------------------------------------------------- mutation
+
+// mutate applies fn to the corpus under the write lock. fn reports how
+// many mutations it actually applied (deduplicated re-deliveries count
+// zero, so idempotent re-crawls don't trigger pointless re-analyses);
+// reaching the debounce threshold kicks the flusher.
+func (e *Engine) mutate(fn func(c *blog.Corpus) (int, error)) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("core: engine is closed")
+	}
+	n, err := fn(e.corpus)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	e.pending += n
+	e.total += uint64(n)
+	ready := e.pending >= e.opts.FlushEvery
+	e.mu.Unlock()
+	if ready {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// ensureBlogger admits id as a stub when unknown.
+func ensureBlogger(c *blog.Corpus, id blog.BloggerID) error {
+	if id == "" {
+		return fmt.Errorf("core: empty blogger ID")
+	}
+	if _, ok := c.Bloggers[id]; ok {
+		return nil
+	}
+	return c.AddBlogger(&blog.Blogger{ID: id})
+}
+
+// AddBlogger inserts or enriches a blogger profile.
+func (e *Engine) AddBlogger(b *blog.Blogger) error {
+	return e.mutate(func(c *blog.Corpus) (int, error) {
+		if err := validateBlogger(b); err != nil {
+			return 0, err
+		}
+		for _, f := range b.Friends {
+			if err := ensureBlogger(c, f); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.UpsertBlogger(b); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+}
+
+// validateBlogger checks everything that could make the blogger-upsert
+// path fail, before any stub is admitted.
+func validateBlogger(b *blog.Blogger) error {
+	if b == nil || b.ID == "" {
+		return fmt.Errorf("core: blogger must have a non-empty ID")
+	}
+	for _, f := range b.Friends {
+		if f == "" {
+			return fmt.Errorf("core: blogger %q has an empty friend ID", b.ID)
+		}
+	}
+	return nil
+}
+
+// AddPost ingests a new post. The author and commenters are admitted as
+// stubs when unknown; a duplicate post ID is an error.
+func (e *Engine) AddPost(p *blog.Post) error {
+	return e.mutate(func(c *blog.Corpus) (int, error) {
+		if err := addPost(c, p); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+}
+
+// validatePost checks everything that could make addPost fail, before any
+// stub is admitted, so a rejected post leaves no partial state.
+func validatePost(c *blog.Corpus, p *blog.Post) error {
+	if p == nil || p.ID == "" {
+		return fmt.Errorf("core: post must have a non-empty ID")
+	}
+	if p.Author == "" {
+		return fmt.Errorf("core: post %q has an empty author", p.ID)
+	}
+	if _, dup := c.Posts[p.ID]; dup {
+		return fmt.Errorf("core: duplicate post %q", p.ID)
+	}
+	for i, cm := range p.Comments {
+		if cm.Commenter == "" {
+			return fmt.Errorf("core: post %q comment %d has an empty commenter", p.ID, i)
+		}
+	}
+	return nil
+}
+
+func addPost(c *blog.Corpus, p *blog.Post) error {
+	if err := validatePost(c, p); err != nil {
+		return err
+	}
+	if err := ensureBlogger(c, p.Author); err != nil {
+		return err
+	}
+	for _, cm := range p.Comments {
+		if err := ensureBlogger(c, cm.Commenter); err != nil {
+			return err
+		}
+	}
+	return c.AddPost(p)
+}
+
+// AddComment ingests a comment on an existing post, admitting the
+// commenter as a stub when unknown. The post is checked first so a
+// rejected comment leaves no stub behind.
+func (e *Engine) AddComment(pid blog.PostID, cm blog.Comment) error {
+	return e.mutate(func(c *blog.Corpus) (int, error) {
+		if _, ok := c.Posts[pid]; !ok {
+			return 0, fmt.Errorf("core: comment on unknown post %q", pid)
+		}
+		if err := ensureBlogger(c, cm.Commenter); err != nil {
+			return 0, err
+		}
+		if err := c.AddComment(pid, cm); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	})
+}
+
+// AddLink ingests a hyperlink, admitting unknown endpoints as stubs.
+// Re-ingesting an existing link is a no-op (the crawl graph reports most
+// edges from both ends).
+func (e *Engine) AddLink(from, to blog.BloggerID) error {
+	return e.mutate(func(c *blog.Corpus) (int, error) {
+		return addLinkStubbed(c, from, to)
+	})
+}
+
+// addLinkStubbed admits unknown endpoints as stubs and records the edge
+// once, reporting whether it was new. Both endpoints are validated before
+// any stub is admitted.
+func addLinkStubbed(c *blog.Corpus, from, to blog.BloggerID) (int, error) {
+	if from == "" || to == "" {
+		return 0, fmt.Errorf("core: link endpoints must be non-empty")
+	}
+	if from == to {
+		return 0, fmt.Errorf("core: self-link %q rejected", from)
+	}
+	if err := ensureBlogger(c, from); err != nil {
+		return 0, err
+	}
+	if err := ensureBlogger(c, to); err != nil {
+		return 0, err
+	}
+	added, err := c.AddLinkDedup(from, to)
+	if err != nil {
+		return 0, err
+	}
+	if !added {
+		return 0, nil
+	}
+	return 1, nil
+}
+
+// Batch is a bundle of mutations applied atomically under one lock
+// acquisition — the bulk-ingestion variant of the AddX calls.
+type Batch struct {
+	Bloggers []*blog.Blogger
+	Posts    []*blog.Post
+	Comments []BatchComment
+	Links    []blog.Link
+}
+
+// BatchComment targets one post with one comment.
+type BatchComment struct {
+	Post    blog.PostID
+	Comment blog.Comment
+}
+
+func (b Batch) size() int {
+	return len(b.Bloggers) + len(b.Posts) + len(b.Comments) + len(b.Links)
+}
+
+// AddBatch applies every mutation in the batch atomically: either all of
+// it lands (counting the mutations actually applied toward the debounce),
+// or none does and the first error is returned. Validation is a cheap
+// field-level pass — the apply step cannot fail afterwards, so no corpus
+// copy or rollback is needed.
+func (e *Engine) AddBatch(b Batch) error {
+	if b.size() == 0 {
+		return nil
+	}
+	return e.mutate(func(c *blog.Corpus) (int, error) {
+		if err := validateBatch(c, b); err != nil {
+			return 0, err
+		}
+		return applyBatch(c, b)
+	})
+}
+
+// validateBatch checks everything that could make applyBatch fail, without
+// touching the corpus: empty IDs, duplicate posts (against the corpus and
+// within the batch), comments on posts that will not exist, self-links.
+// Unknown bloggers never fail — they are admitted as stubs on apply.
+func validateBatch(c *blog.Corpus, b Batch) error {
+	for _, bl := range b.Bloggers {
+		if err := validateBlogger(bl); err != nil {
+			return err
+		}
+	}
+	batchPosts := make(map[blog.PostID]bool, len(b.Posts))
+	for _, p := range b.Posts {
+		if err := validatePost(c, p); err != nil {
+			return err
+		}
+		if batchPosts[p.ID] {
+			return fmt.Errorf("core: duplicate post %q", p.ID)
+		}
+		batchPosts[p.ID] = true
+	}
+	for _, bc := range b.Comments {
+		if bc.Comment.Commenter == "" {
+			return fmt.Errorf("core: comment on %q has an empty commenter", bc.Post)
+		}
+		if _, ok := c.Posts[bc.Post]; !ok && !batchPosts[bc.Post] {
+			return fmt.Errorf("core: comment on unknown post %q", bc.Post)
+		}
+	}
+	for _, l := range b.Links {
+		if l.From == "" || l.To == "" {
+			return fmt.Errorf("core: link endpoints must be non-empty")
+		}
+		if l.From == l.To {
+			return fmt.Errorf("core: self-link %q rejected", l.From)
+		}
+	}
+	return nil
+}
+
+// applyBatch lands a validated batch and reports how many mutations it
+// actually applied (deduplicated links count zero).
+func applyBatch(c *blog.Corpus, b Batch) (int, error) {
+	applied := 0
+	for _, bl := range b.Bloggers {
+		for _, f := range bl.Friends {
+			if err := ensureBlogger(c, f); err != nil {
+				return applied, err
+			}
+		}
+		if err := c.UpsertBlogger(bl); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	for _, p := range b.Posts {
+		if err := addPost(c, p); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	for _, bc := range b.Comments {
+		if err := ensureBlogger(c, bc.Comment.Commenter); err != nil {
+			return applied, err
+		}
+		if err := c.AddComment(bc.Post, bc.Comment); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	for _, l := range b.Links {
+		n, err := addLinkStubbed(c, l.From, l.To)
+		if err != nil {
+			return applied, err
+		}
+		applied += n
+	}
+	return applied, nil
+}
+
+// IngestPage folds one crawled space page into the corpus: the blogger
+// profile, its posts (duplicates skipped — re-crawls re-serve old posts),
+// and the link edges in both directions. It implements crawler.Sink, so a
+// streaming crawl can feed the engine directly.
+func (e *Engine) IngestPage(page *blogserver.Page) error {
+	if page == nil {
+		return fmt.Errorf("core: nil page")
+	}
+	return e.mutate(func(c *blog.Corpus) (applied int, err error) {
+		id := page.Blogger.ID
+		existing, known := c.Bloggers[id]
+		// A new blogger counts; so does enriching a stub (profiles feed the
+		// recommenders). Re-delivering an already-enriched page counts zero.
+		enriches := !known || (existing.Name == "" && existing.Profile == "" &&
+			(page.Blogger.Name != "" || page.Blogger.Profile != ""))
+		b := page.Blogger
+		for _, f := range b.Friends {
+			if err := ensureBlogger(c, f); err != nil {
+				return applied, err
+			}
+		}
+		if err := c.UpsertBlogger(&b); err != nil {
+			return applied, err
+		}
+		if enriches {
+			applied++
+		}
+		for i := range page.Posts {
+			p := page.Posts[i]
+			if _, dup := c.Posts[p.ID]; dup {
+				continue
+			}
+			if err := addPost(c, &p); err != nil {
+				return applied, err
+			}
+			applied++
+		}
+		for _, target := range page.Links {
+			if target == id {
+				continue
+			}
+			n, err := addLinkStubbed(c, id, target)
+			if err != nil {
+				return applied, err
+			}
+			applied += n
+		}
+		for _, source := range page.Linkbacks {
+			if source == id {
+				continue
+			}
+			n, err := addLinkStubbed(c, source, id)
+			if err != nil {
+				return applied, err
+			}
+			applied += n
+		}
+		return applied, nil
+	})
+}
+
+// --------------------------------------------------------------- analysis
+
+// flusher is the background re-analysis loop: it wakes when the mutation
+// threshold kicks it or on the debounce timer, and republishes a snapshot
+// whenever mutations are pending.
+func (e *Engine) flusher() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-e.kick:
+		case <-ticker.C:
+		}
+		e.refresh(false)
+	}
+}
+
+// refresh re-analyzes if mutations are pending (or force). The corpus is
+// snapshotted under the write lock, but the expensive pipeline runs outside
+// it, so ingestion continues while the analysis is in flight. On failure
+// the consumed mutations are put back in pending so the flusher's next
+// tick retries them, and the error is kept for Status.
+func (e *Engine) refresh(force bool) error {
+	e.analyzeSem <- struct{}{}
+	defer func() { <-e.analyzeSem }()
+	return e.refreshLocked(force)
+}
+
+// refreshLocked is refresh's body; the caller holds analyzeSem.
+func (e *Engine) refreshLocked(force bool) error {
+	e.mu.Lock()
+	if e.pending == 0 && !force {
+		e.mu.Unlock()
+		return nil
+	}
+	frozen := e.corpus.Snapshot()
+	consumed := e.pending
+	total := e.total
+	e.pending = 0
+	e.mu.Unlock()
+
+	err := e.publish(frozen, total)
+	e.mu.Lock()
+	if err != nil {
+		e.pending += consumed
+	}
+	e.lastErr = err
+	e.mu.Unlock()
+	return err
+}
+
+// rebuild runs the initial (cold) analysis during NewEngine.
+func (e *Engine) rebuild(prev *influence.Result) error {
+	e.mu.Lock()
+	frozen := e.corpus.Snapshot()
+	total := e.total
+	e.mu.Unlock()
+	return e.publishWarm(frozen, total, prev)
+}
+
+func (e *Engine) publish(frozen *blog.Corpus, total uint64) error {
+	var prev *influence.Result
+	if s := e.snap.Load(); s != nil {
+		prev = s.Result()
+	}
+	return e.publishWarm(frozen, total, prev)
+}
+
+// publishWarm analyzes frozen (warm-started from prev) and swaps in the
+// new snapshot. total is the mutation count at the moment frozen was
+// taken, so Snapshot.Mutations matches the published corpus even when
+// more mutations land during the analysis.
+func (e *Engine) publishWarm(frozen *blog.Corpus, total uint64, prev *influence.Result) error {
+	t0 := time.Now()
+	sys, err := newSystem(frozen, e.opts.Options, e.cl, e.an, prev)
+	if err != nil {
+		return err
+	}
+	var seq uint64
+	if s := e.snap.Load(); s != nil {
+		seq = s.Seq
+	}
+	e.snap.Store(&Snapshot{
+		System:    sys,
+		Seq:       seq + 1,
+		Mutations: total,
+		Elapsed:   time.Since(t0),
+	})
+	return nil
+}
+
+// Refresh forces a synchronous re-analysis of everything ingested so far
+// and returns once the new snapshot is published. ctx bounds only the wait
+// for an in-flight analysis to finish; once Refresh's own analysis starts
+// it runs to completion.
+func (e *Engine) Refresh(ctx context.Context) error {
+	select {
+	case e.analyzeSem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-e.analyzeSem }()
+	return e.refreshLocked(true)
+}
+
+// Close stops the flusher, folds any pending mutations into a final
+// snapshot, and marks the engine read-only. Queries against the last
+// snapshot keep working after Close.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.quit)
+	<-e.done
+	return e.refresh(false)
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/blogserver"
+	"mass/internal/crawler"
+	"mass/internal/synth"
+)
+
+func testEngineOptions() EngineOptions {
+	return EngineOptions{
+		FlushEvery:    8,
+		FlushInterval: 25 * time.Millisecond,
+	}
+}
+
+func startEngine(t *testing.T, c *blog.Corpus, opts EngineOptions) *Engine {
+	t.Helper()
+	e, err := NewEngine(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func synthCorpus(t *testing.T, seed int64, bloggers, posts int) *blog.Corpus {
+	t.Helper()
+	c, _, err := synth.Generate(synth.Config{Seed: seed, Bloggers: bloggers, Posts: posts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEngineConcurrentIngestAndQuery is the acceptance race test: 4
+// goroutines ingest posts, comments and links while 4 goroutines query
+// whatever snapshot is current, with the background flusher republishing
+// underneath them. Run with -race.
+func TestEngineConcurrentIngestAndQuery(t *testing.T) {
+	e := startEngine(t, synthCorpus(t, 81, 30, 150), testEngineOptions())
+
+	base := e.Current().Corpus().BloggerIDs()
+	initialPosts := len(e.Current().Corpus().Posts)
+	const ingesters, readers, perIngester = 4, 4, 30
+
+	var wg sync.WaitGroup
+	errs := make(chan error, ingesters)
+	stop := make(chan struct{})
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perIngester; i++ {
+				author := blog.BloggerID(fmt.Sprintf("live-%d", g))
+				pid := blog.PostID(fmt.Sprintf("live-%d-%d", g, i))
+				if err := e.AddPost(&blog.Post{
+					ID: pid, Author: author,
+					Title: "live post",
+					Body:  fmt.Sprintf("fresh travel notes number %d from goroutine %d", i, g),
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if err := e.AddComment(pid, blog.Comment{
+					Commenter: base[(g+i)%len(base)], Text: "great point, love it",
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if err := e.AddLink(author, base[i%len(base)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := e.Current()
+				if s == nil {
+					errs <- fmt.Errorf("Current returned nil")
+					return
+				}
+				top := s.TopInfluential(3)
+				for _, b := range top {
+					_ = s.Result().DomainVector(b)
+				}
+				_ = s.Stats()
+				_ = e.Status()
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		// Ingesters finish first; readers exit once stop closes.
+		defer close(done)
+		wg.Wait()
+	}()
+
+	// Wait for the ingesters by polling total mutations, then stop readers.
+	deadline := time.After(30 * time.Second)
+	want := uint64(ingesters * perIngester * 3)
+	for {
+		st := e.Status()
+		if st.TotalMutations >= want {
+			break
+		}
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case <-deadline:
+			t.Fatalf("timed out: %d/%d mutations", st.TotalMutations, want)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Current()
+	if got, want := len(s.Corpus().Posts), initialPosts+ingesters*perIngester; got != want {
+		t.Fatalf("final snapshot has %d posts, want %d", got, want)
+	}
+	if err := s.Corpus().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Seq < 2 {
+		t.Fatalf("flusher never republished: seq %d", s.Seq)
+	}
+}
+
+// TestEngineWarmMatchesCold is the acceptance determinism test: after live
+// ingestion, the engine's warm incremental re-analysis must land on the
+// same scores as a cold Analyze of the same corpus, within 1e-9.
+func TestEngineWarmMatchesCold(t *testing.T) {
+	e := startEngine(t, synthCorpus(t, 82, 40, 250), testEngineOptions())
+
+	base := e.Current().Corpus().BloggerIDs()
+	for i := 0; i < 25; i++ {
+		pid := blog.PostID(fmt.Sprintf("p-new-%d", i))
+		if err := e.AddPost(&blog.Post{
+			ID: pid, Author: base[i%7],
+			Body: fmt.Sprintf("a brand new dispatch about sports and markets, issue %d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddComment(pid, blog.Comment{Commenter: base[(i+3)%len(base)], Text: "excellent read"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddLink(base[1], base[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Current()
+	if warm.Result().ReusedPosteriors == 0 {
+		t.Fatal("warm path did not reuse any classifier posteriors")
+	}
+
+	// Cold: a from-scratch System over the very same frozen corpus, with
+	// the same classifier.
+	cold, err := FromCorpus(warm.Corpus(), Options{
+		Classifier: warm.Classifier(),
+		Influence:  e.opts.Influence,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, wr := cold.Result(), warm.Result()
+	if len(cr.BloggerScores) != len(wr.BloggerScores) {
+		t.Fatalf("score sets differ: %d vs %d", len(cr.BloggerScores), len(wr.BloggerScores))
+	}
+	for b, s := range cr.BloggerScores {
+		if math.Abs(wr.BloggerScores[b]-s) > 1e-9 {
+			t.Fatalf("blogger %s: warm %v vs cold %v", b, wr.BloggerScores[b], s)
+		}
+	}
+	for p, s := range cr.PostScores {
+		if math.Abs(wr.PostScores[p]-s) > 1e-9 {
+			t.Fatalf("post %s: warm %v vs cold %v", p, wr.PostScores[p], s)
+		}
+	}
+	for b, ds := range cr.DomainScores {
+		for d, s := range ds {
+			if math.Abs(wr.DomainScores[b][d]-s) > 1e-9 {
+				t.Fatalf("domain %s/%s: warm %v vs cold %v", b, d, wr.DomainScores[b][d], s)
+			}
+		}
+	}
+}
+
+// TestEngineStartsEmpty checks the cold-start path: no corpus at boot,
+// everything arrives through ingestion.
+func TestEngineStartsEmpty(t *testing.T) {
+	e := startEngine(t, nil, testEngineOptions())
+	if got := len(e.Current().Corpus().Bloggers); got != 0 {
+		t.Fatalf("empty engine has %d bloggers", got)
+	}
+	if top := e.Current().TopInfluential(3); len(top) != 0 {
+		t.Fatalf("empty engine ranked %d bloggers", len(top))
+	}
+	if err := e.AddPost(&blog.Post{ID: "p1", Author: "ann", Body: "first ever post here"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Current()
+	if len(s.Corpus().Posts) != 1 || len(s.Corpus().Bloggers) != 1 {
+		t.Fatal("ingested post did not reach the snapshot")
+	}
+	if top := s.TopInfluential(1); len(top) != 1 || top[0] != "ann" {
+		t.Fatalf("expected ann on top, got %v", top)
+	}
+}
+
+// TestEngineBatchAtomic checks that a failing batch leaves no partial state.
+func TestEngineBatchAtomic(t *testing.T) {
+	e := startEngine(t, nil, testEngineOptions())
+	err := e.AddBatch(Batch{
+		Posts: []*blog.Post{
+			{ID: "ok", Author: "ann", Body: "fine"},
+			{ID: "", Author: "ann", Body: "broken"}, // empty ID fails
+		},
+	})
+	if err == nil {
+		t.Fatal("expected batch error")
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Current().Corpus().Posts); got != 0 {
+		t.Fatalf("failed batch leaked %d posts", got)
+	}
+
+	// A blogger with an invalid friend list fails before any stub lands.
+	err = e.AddBatch(Batch{
+		Bloggers: []*blog.Blogger{{ID: "x", Friends: []blog.BloggerID{"y", ""}}},
+	})
+	if err == nil {
+		t.Fatal("expected error for empty friend ID")
+	}
+	// A comment on an unknown post must not leave the commenter stub.
+	if err := e.AddComment("no-such-post", blog.Comment{Commenter: "newbie"}); err == nil {
+		t.Fatal("expected error for unknown post")
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Current().Corpus().Bloggers); got != 0 {
+		t.Fatalf("rejected mutations leaked %d stub bloggers", got)
+	}
+
+	if err := e.AddBatch(Batch{
+		Bloggers: []*blog.Blogger{{ID: "bob", Name: "Bob"}},
+		Posts:    []*blog.Post{{ID: "p1", Author: "bob", Body: "batch post"}},
+		Comments: []BatchComment{{Post: "p1", Comment: blog.Comment{Commenter: "ann", Text: "nice"}}},
+		Links:    []blog.Link{{From: "ann", To: "bob"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Current().Corpus()
+	if len(c.Posts) != 1 || len(c.Links) != 1 || c.TotalComments("ann") != 1 {
+		t.Fatal("batch did not apply fully")
+	}
+}
+
+// TestEngineClose checks shutdown folds pending mutations into a final
+// snapshot and rejects writes afterwards.
+func TestEngineClose(t *testing.T) {
+	e, err := NewEngine(nil, EngineOptions{FlushEvery: 1 << 20, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddPost(&blog.Post{ID: "p1", Author: "ann", Body: "last words"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.Current().Corpus().Posts); got != 1 {
+		t.Fatalf("close lost pending mutation: %d posts", got)
+	}
+	if err := e.AddPost(&blog.Post{ID: "p2", Author: "ann", Body: "too late"}); err == nil {
+		t.Fatal("write after Close must fail")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineStreamingCrawl feeds a streaming crawl straight into a live
+// engine (the crawler.Sink wiring) and checks the engine converges to the
+// same corpus a one-shot Crawl would have produced.
+func TestEngineStreamingCrawl(t *testing.T) {
+	corpus := synthCorpus(t, 84, 30, 150)
+	ts := httptest.NewServer(blogserver.New(corpus))
+	t.Cleanup(ts.Close)
+	seed := corpus.BloggerIDs()[0]
+
+	cr := crawler.New(crawler.Config{Workers: 4, Radius: 100}, nil)
+	oneShot, _, err := cr.Crawl(context.Background(), ts.URL, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := startEngine(t, nil, testEngineOptions())
+	if _, err := cr.Stream(context.Background(), ts.URL, seed, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Current().Corpus()
+	if len(c.Bloggers) != len(oneShot.Bloggers) || len(c.Posts) != len(oneShot.Posts) ||
+		len(c.Links) != len(oneShot.Links) {
+		t.Fatalf("streamed %d/%d/%d, one-shot %d/%d/%d",
+			len(c.Bloggers), len(c.Posts), len(c.Links),
+			len(oneShot.Bloggers), len(oneShot.Posts), len(oneShot.Links))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-streaming the same crawl is idempotent (dup posts and links skip).
+	if _, err := cr.Stream(context.Background(), ts.URL, seed, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	c2 := e.Current().Corpus()
+	if len(c2.Posts) != len(c.Posts) || len(c2.Links) != len(c.Links) {
+		t.Fatal("re-streaming the same crawl duplicated data")
+	}
+}

@@ -92,14 +92,39 @@ func New(cfg Config, client *http.Client) *Crawler {
 	return &Crawler{cfg: cfg, client: client}
 }
 
+// Sink consumes crawled pages one at a time, in BFS discovery order. A
+// live ingestion engine implements Sink to be fed directly by a streaming
+// crawl (core.Engine.IngestPage); corpusSink below implements it to
+// assemble the classic one-shot corpus.
+type Sink interface {
+	IngestPage(p *blogserver.Page) error
+}
+
 // Crawl fetches the blogosphere reachable from seed within the configured
 // radius and assembles a corpus. Commenters and link targets outside the
 // radius appear as stub bloggers (ID only) so the corpus stays
 // referentially intact — exactly what a real crawl knows about them.
 func (cr *Crawler) Crawl(ctx context.Context, baseURL string, seed blog.BloggerID) (*blog.Corpus, Stats, error) {
+	c := blog.NewCorpus()
+	stats, err := cr.Stream(ctx, baseURL, seed, &corpusSink{c: c})
+	if err != nil {
+		return nil, stats, err
+	}
+	c.Reindex()
+	if err := c.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("crawler: crawl produced invalid corpus: %w", err)
+	}
+	return c, stats, nil
+}
+
+// Stream runs the same level-synchronous BFS as Crawl, but hands each
+// fetched page to sink instead of accumulating a monolithic corpus — the
+// crawl feeds a live system while it is still running. Pages are delivered
+// serially (sinks need no internal locking against the crawler) in
+// deterministic BFS order. A sink error aborts the crawl.
+func (cr *Crawler) Stream(ctx context.Context, baseURL string, seed blog.BloggerID, sink Sink) (Stats, error) {
 	start := time.Now()
 	var stats Stats
-	c := blog.NewCorpus()
 
 	type fetched struct {
 		page *blogserver.Page
@@ -144,11 +169,10 @@ func (cr *Crawler) Crawl(ctx context.Context, baseURL string, seed blog.BloggerI
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
-			return nil, stats, err
+			return stats, err
 		}
 
-		// Integrate results serially (corpus is not concurrency-safe) and
-		// collect the next level.
+		// Deliver results serially and collect the next level.
 		var next []blog.BloggerID
 		for _, f := range results {
 			if f.err != nil {
@@ -161,11 +185,10 @@ func (cr *Crawler) Crawl(ctx context.Context, baseURL string, seed blog.BloggerI
 			}
 			stats.Fetched++
 			stats.Depth = depth
-			neighbors, err := integrate(c, f.page)
-			if err != nil {
-				return nil, stats, fmt.Errorf("crawler: integrating %s: %w", f.id, err)
+			if err := sink.IngestPage(f.page); err != nil {
+				return stats, fmt.Errorf("crawler: ingesting %s: %w", f.id, err)
 			}
-			for _, n := range neighbors {
+			for _, n := range PageNeighbors(f.page) {
 				if !visited[n] {
 					visited[n] = true
 					next = append(next, n)
@@ -176,11 +199,47 @@ func (cr *Crawler) Crawl(ctx context.Context, baseURL string, seed blog.BloggerI
 		level = next
 	}
 	stats.Elapsed = time.Since(start)
-	c.Reindex()
-	if err := c.Validate(); err != nil {
-		return nil, stats, fmt.Errorf("crawler: crawl produced invalid corpus: %w", err)
+	return stats, nil
+}
+
+// PageNeighbors extracts every blogger a page references — friends,
+// commenters, link targets and linkback sources — i.e. the BFS frontier
+// contributed by this page.
+func PageNeighbors(page *blogserver.Page) []blog.BloggerID {
+	id := page.Blogger.ID
+	var out []blog.BloggerID
+	seen := map[blog.BloggerID]bool{id: true}
+	add := func(ref blog.BloggerID) {
+		if ref != "" && !seen[ref] {
+			seen[ref] = true
+			out = append(out, ref)
+		}
 	}
-	return c, stats, nil
+	for _, f := range page.Blogger.Friends {
+		add(f)
+	}
+	for i := range page.Posts {
+		for _, cm := range page.Posts[i].Comments {
+			add(cm.Commenter)
+		}
+	}
+	for _, target := range page.Links {
+		add(target)
+	}
+	for _, source := range page.Linkbacks {
+		add(source)
+	}
+	return out
+}
+
+// corpusSink accumulates pages into a corpus (the one-shot Crawl mode).
+type corpusSink struct {
+	c *blog.Corpus
+}
+
+func (s *corpusSink) IngestPage(p *blogserver.Page) error {
+	_, err := integrate(s.c, p)
+	return err
 }
 
 // fetchWithRetry downloads and parses one space page.
@@ -287,7 +346,7 @@ func integrate(c *blog.Corpus, page *blogserver.Page) ([]blog.BloggerID, error) 
 		if err := ensure(target); err != nil {
 			return nil, err
 		}
-		if err := addLinkDedup(c, id, target); err != nil {
+		if _, err := c.AddLinkDedup(id, target); err != nil {
 			return nil, err
 		}
 	}
@@ -299,19 +358,9 @@ func integrate(c *blog.Corpus, page *blogserver.Page) ([]blog.BloggerID, error) 
 		if err := ensure(source); err != nil {
 			return nil, err
 		}
-		if err := addLinkDedup(c, source, id); err != nil {
+		if _, err := c.AddLinkDedup(source, id); err != nil {
 			return nil, err
 		}
 	}
 	return neighbors, nil
-}
-
-// addLinkDedup inserts the link once even when both endpoints report it.
-func addLinkDedup(c *blog.Corpus, from, to blog.BloggerID) error {
-	for _, existing := range c.OutLinks(from) {
-		if existing == to {
-			return nil
-		}
-	}
-	return c.AddLink(from, to)
 }

@@ -224,3 +224,92 @@ func TestCrawlRateLimit(t *testing.T) {
 		t.Fatal("rate limit had no effect")
 	}
 }
+
+// recordingSink collects streamed pages, and can fail on demand.
+type recordingSink struct {
+	pages  []*blogserver.Page
+	failOn int // 1-based page index to fail at; 0 means never
+}
+
+func (s *recordingSink) IngestPage(p *blogserver.Page) error {
+	s.pages = append(s.pages, p)
+	if s.failOn > 0 && len(s.pages) == s.failOn {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestStreamDeliversSamePagesAsCrawl(t *testing.T) {
+	c, _, err := synth.Generate(synth.Config{Seed: 3, Bloggers: 40, Posts: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, url := serve(t, c)
+	seed := c.BloggerIDs()[0]
+
+	cr := New(Config{Workers: 4, Radius: 100}, nil)
+	crawled, cstats, err := cr.Crawl(context.Background(), url, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &recordingSink{}
+	sstats, err := cr.Stream(context.Background(), url, seed, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sstats.Fetched != cstats.Fetched || sstats.Depth != cstats.Depth {
+		t.Fatalf("stream stats %+v != crawl stats %+v", sstats, cstats)
+	}
+	if len(sink.pages) != sstats.Fetched {
+		t.Fatalf("sink saw %d pages, fetched %d", len(sink.pages), sstats.Fetched)
+	}
+	// Rebuilding a corpus from the streamed pages reproduces the crawl.
+	rebuilt := blog.NewCorpus()
+	for _, p := range sink.pages {
+		if _, err := integrate(rebuilt, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rebuilt.Reindex()
+	if len(rebuilt.Bloggers) != len(crawled.Bloggers) || len(rebuilt.Posts) != len(crawled.Posts) ||
+		len(rebuilt.Links) != len(crawled.Links) {
+		t.Fatalf("rebuilt %d/%d/%d, crawled %d/%d/%d",
+			len(rebuilt.Bloggers), len(rebuilt.Posts), len(rebuilt.Links),
+			len(crawled.Bloggers), len(crawled.Posts), len(crawled.Links))
+	}
+}
+
+func TestStreamSinkErrorAborts(t *testing.T) {
+	_, url := serve(t, blog.Figure1Corpus())
+	cr := New(Config{Workers: 2, Radius: 5}, nil)
+	sink := &recordingSink{failOn: 2}
+	_, err := cr.Stream(context.Background(), url, "Amery", sink)
+	if err == nil {
+		t.Fatal("expected sink error to abort the stream")
+	}
+	if len(sink.pages) != 2 {
+		t.Fatalf("stream continued past failing sink: %d pages", len(sink.pages))
+	}
+}
+
+func TestPageNeighborsExcludesSelf(t *testing.T) {
+	p := &blogserver.Page{
+		Blogger: blog.Blogger{ID: "a", Friends: []blog.BloggerID{"b", "a"}},
+		Posts: []blog.Post{
+			{ID: "p", Author: "a", Comments: []blog.Comment{{Commenter: "c"}, {Commenter: "b"}}},
+		},
+		Links:     []blog.BloggerID{"d"},
+		Linkbacks: []blog.BloggerID{"e", "d"},
+	}
+	got := PageNeighbors(p)
+	want := []blog.BloggerID{"b", "c", "d", "e"}
+	if len(got) != len(want) {
+		t.Fatalf("neighbors %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors %v, want %v", got, want)
+		}
+	}
+}

@@ -59,6 +59,10 @@ type Result struct {
 	// Iterations and Converged report fixed-point solver behaviour.
 	Iterations int
 	Converged  bool
+	// ReusedPosteriors counts posts whose classifier posterior was carried
+	// over from the previous result on the AnalyzeWarm path (0 on a cold
+	// Analyze).
+	ReusedPosteriors int
 }
 
 // Analyze runs the full pipeline on the corpus. It never modifies c.
@@ -71,16 +75,20 @@ func (a *Analyzer) Analyze(c *blog.Corpus) (*Result, error) {
 // comments, or links since prev), the fixed point is close to the old one
 // and the solver converges in far fewer sweeps — the incremental-update
 // path for a live system that re-scores as the crawler appends data. The
-// final scores are identical to a cold Analyze (the fixed point is
-// unique); only the iteration count differs.
+// classifier posteriors of posts already present in prev are reused
+// verbatim (post bodies are immutable, so re-classifying them is pure
+// waste); only genuinely new posts hit the classifier, on the worker pool.
+// The final scores are identical to a cold Analyze (the fixed point is
+// unique); only the iteration count and classification work differ.
 func (a *Analyzer) AnalyzeWarm(c *blog.Corpus, prev *Result) (*Result, error) {
-	if prev == nil {
-		return a.analyze(c, nil)
-	}
-	return a.analyze(c, prev.BloggerScores)
+	return a.analyze(c, prev)
 }
 
-func (a *Analyzer) analyze(c *blog.Corpus, warm map[blog.BloggerID]float64) (*Result, error) {
+func (a *Analyzer) analyze(c *blog.Corpus, prev *Result) (*Result, error) {
+	var warm map[blog.BloggerID]float64
+	if prev != nil {
+		warm = prev.BloggerScores
+	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("influence: invalid corpus: %w", err)
 	}
@@ -231,11 +239,25 @@ func (a *Analyzer) analyze(c *blog.Corpus, warm map[blog.BloggerID]float64) (*Re
 	// immutable after training.)
 	if a.classifier != nil {
 		dists := make([]map[string]float64, len(posts))
-		a.parallelSweep(len(posts), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				dists[i] = a.classifier.Classify(c.Posts[posts[i]].Body)
+		reused := 0
+		if prev != nil {
+			for i, pid := range posts {
+				if d, ok := prev.PostDomains[pid]; ok {
+					dists[i] = d
+					reused++
+				}
 			}
-		})
+		}
+		if reused < len(posts) {
+			a.parallelSweep(len(posts), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if dists[i] == nil {
+						dists[i] = a.classifier.Classify(c.Posts[posts[i]].Body)
+					}
+				}
+			})
+		}
+		res.ReusedPosteriors = reused
 		for i, pid := range posts {
 			dist := dists[i]
 			res.PostDomains[pid] = dist

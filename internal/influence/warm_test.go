@@ -76,6 +76,47 @@ func TestWarmStartAfterIncrementalGrowth(t *testing.T) {
 	}
 }
 
+func TestWarmReusesClassifierPosteriors(t *testing.T) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 73, Bloggers: 40, Posts: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAnalyzer(t, Config{}, trainDomainClassifier(t))
+	prev, err := a.Analyze(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.ReusedPosteriors != 0 {
+		t.Fatalf("cold analyze reported %d reused posteriors", prev.ReusedPosteriors)
+	}
+	old := len(corpus.Posts)
+	author := corpus.BloggerIDs()[0]
+	if err := corpus.AddPost(&blog.Post{
+		ID: "warmnew", Author: author,
+		Body: "travel notes from a long trip across the coast",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := a.AnalyzeWarm(corpus, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ReusedPosteriors != old {
+		t.Fatalf("reused %d posteriors, want %d (all pre-existing posts)", warm.ReusedPosteriors, old)
+	}
+	cold, err := a.Analyze(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, ds := range cold.DomainScores {
+		for d, s := range ds {
+			if math.Abs(warm.DomainScores[b][d]-s) > 1e-7 {
+				t.Fatalf("domain score differs for %s/%s: %v vs %v", b, d, warm.DomainScores[b][d], s)
+			}
+		}
+	}
+}
+
 func TestWarmNilPrevEqualsCold(t *testing.T) {
 	c := blog.Figure1Corpus()
 	a := mustAnalyzer(t, Config{}, nil)
