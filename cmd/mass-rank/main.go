@@ -68,7 +68,7 @@ func main() {
 	for _, d := range domains {
 		fmt.Fprintf(tw, "\n%s top-%d\tInf(b,Ct)\n", d, *k)
 		for _, b := range sys.TopInDomain(d, *k) {
-			fmt.Fprintf(tw, "%s\t%.4f\n", b, res.DomainScores[b][d])
+			fmt.Fprintf(tw, "%s\t%.4f\n", b, res.DomainScore(b, d))
 		}
 		tw.Flush()
 	}

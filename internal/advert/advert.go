@@ -72,35 +72,23 @@ func (r *Recommender) ForDomains(domains []string, k int) []Recommendation {
 }
 
 // general returns the top-k by overall influence Inf(b) — the fallback when
-// no domain is selected.
+// no domain is selected. Served from the result's precomputed ranking.
 func (r *Recommender) general(k int) []Recommendation {
-	scores := make(map[string]float64, len(r.result.BloggerScores))
-	for b, s := range r.result.BloggerScores {
-		scores[string(b)] = s
-	}
-	return toRecommendations(rank.TopK(scores, k))
+	return toRecommendations(r.result.TopGeneral(k))
 }
 
 // rankByVector computes Inf(b, a_l) = Inf(b,IV) · iv(a_l) for every
-// blogger and returns the top k.
+// blogger and returns the top k. The dot products run over the result's
+// dense domain slab.
 func (r *Recommender) rankByVector(iv map[string]float64, k int) []Recommendation {
-	scores := make(map[string]float64, len(r.result.DomainScores))
-	for b, dv := range r.result.DomainScores {
-		var dot float64
-		for d, w := range iv {
-			dot += dv[d] * w
-		}
-		scores[string(b)] = dot
-	}
-	return toRecommendations(rank.TopK(scores, k))
+	return toRecommendations(rank.TopK(r.result.InterestScores(iv), k))
 }
 
 // Score returns a single blogger's relevance to an ad text.
 func (r *Recommender) Score(b blog.BloggerID, adText string) float64 {
-	iv := r.InterestVector(adText)
 	var dot float64
-	for d, w := range iv {
-		dot += r.result.DomainScores[b][d] * w
+	for d, w := range r.InterestVector(adText) {
+		dot += r.result.DomainScore(b, d) * w
 	}
 	return dot
 }

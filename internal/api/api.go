@@ -109,11 +109,13 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := intParam(r, "k", 3)
-	sys := s.current()
-	res := sys.Result()
-	out := make([]scored, 0, k)
-	for _, b := range sys.TopInfluential(k) {
-		out = append(out, scored{Blogger: b, Score: res.BloggerScores[b]})
+	// Served from the snapshot's precomputed general ranking — no score
+	// maps are rebuilt per request. The allocation is sized by the entries
+	// actually returned, never by the raw (client-controlled) k.
+	entries := s.current().Result().TopGeneral(k)
+	out := make([]scored, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, scored{Blogger: blog.BloggerID(e.ID), Score: e.Score})
 	}
 	writeJSON(w, out)
 }
@@ -137,11 +139,11 @@ func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := intParam(r, "k", 3)
-	sys := s.current()
-	res := sys.Result()
-	out := make([]scored, 0, k)
-	for _, b := range sys.TopInDomain(domain, k) {
-		out = append(out, scored{Blogger: b, Score: res.DomainScores[b][domain]})
+	// Served from the snapshot's precomputed per-domain ranking.
+	entries := s.current().Result().TopDomain(domain, k)
+	out := make([]scored, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, scored{Blogger: blog.BloggerID(e.ID), Score: e.Score})
 	}
 	writeJSON(w, out)
 }

@@ -76,7 +76,19 @@ type Corpus struct {
 	totalComments map[BloggerID]int // TC(bj) in Eq.3
 	outLinks      map[BloggerID][]BloggerID
 	inLinks       map[BloggerID][]BloggerID
+
+	// linkEpoch counts every mutation that can change the hyperlink graph
+	// (blogger added, link added, reindex). Two corpora from the same
+	// mutation lineage with equal epochs therefore have identical link
+	// graphs, which lets an incremental analyzer skip re-running PageRank.
+	linkEpoch uint64
 }
+
+// LinkEpoch returns the corpus's link-graph mutation counter. Snapshots
+// carry the epoch of the corpus they were taken from; an unchanged epoch
+// between two snapshots of the same corpus lineage means the blogger set
+// and link edges are identical.
+func (c *Corpus) LinkEpoch() uint64 { return c.linkEpoch }
 
 // NewCorpus returns an empty corpus with initialized maps.
 func NewCorpus() *Corpus {
@@ -99,6 +111,7 @@ func (c *Corpus) AddBlogger(b *Blogger) error {
 		return fmt.Errorf("blog: duplicate blogger %q", b.ID)
 	}
 	c.Bloggers[b.ID] = b
+	c.linkEpoch++
 	return nil
 }
 
@@ -142,12 +155,15 @@ func (c *Corpus) AddLink(from, to BloggerID) error {
 	c.Links = append(c.Links, Link{From: from, To: to})
 	c.outLinks[from] = append(c.outLinks[from], to)
 	c.inLinks[to] = append(c.inLinks[to], from)
+	c.linkEpoch++
 	return nil
 }
 
 // Reindex rebuilds all derived indexes from Bloggers, Posts and Links.
-// Call it after deserializing or bulk-editing a corpus.
+// Call it after deserializing or bulk-editing a corpus. Bulk edits may
+// have changed the link graph arbitrarily, so the link epoch advances.
 func (c *Corpus) Reindex() {
+	c.linkEpoch++
 	c.postsByAuthor = map[BloggerID][]PostID{}
 	c.totalComments = map[BloggerID]int{}
 	c.outLinks = map[BloggerID][]BloggerID{}

@@ -28,6 +28,7 @@ func (c *Corpus) Snapshot() *Corpus {
 		totalComments: make(map[BloggerID]int, len(c.totalComments)),
 		outLinks:      make(map[BloggerID][]BloggerID, len(c.outLinks)),
 		inLinks:       make(map[BloggerID][]BloggerID, len(c.inLinks)),
+		linkEpoch:     c.linkEpoch,
 	}
 	for id, b := range c.Bloggers {
 		s.Bloggers[id] = b
@@ -96,6 +97,7 @@ func (c *Corpus) UpsertBlogger(b *Blogger) error {
 		nb := *b
 		nb.Friends = append([]BloggerID(nil), b.Friends...)
 		c.Bloggers[b.ID] = &nb
+		c.linkEpoch++ // new graph node
 		return nil
 	}
 	clone := *existing

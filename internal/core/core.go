@@ -83,11 +83,12 @@ func (o Options) buildClassifier() (classify.Classifier, error) {
 	return nb, nil
 }
 
-// newSystem runs the analysis pipeline over c — warm-started from prev when
-// non-nil — and assembles the query-side recommenders. It is the shared
-// build step behind FromCorpus (cold, once) and Engine (warm, repeatedly).
-func newSystem(c *blog.Corpus, opts Options, cl classify.Classifier, an *influence.Analyzer, prev *influence.Result) (*System, error) {
-	res, err := an.AnalyzeWarm(c, prev)
+// newSystem runs the analysis pipeline over c — warm-started from prev and
+// facet-cached through cache when non-nil — and assembles the query-side
+// recommenders. It is the shared build step behind FromCorpus (cold, once)
+// and Engine (incremental, repeatedly).
+func newSystem(c *blog.Corpus, opts Options, cl classify.Classifier, an *influence.Analyzer, prev *influence.Result, cache *influence.Cache) (*System, error) {
+	res, err := an.AnalyzeCached(c, prev, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +123,7 @@ func FromCorpus(c *blog.Corpus, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newSystem(c, opts, cl, an, nil)
+	return newSystem(c, opts, cl, an, nil, nil)
 }
 
 // LoadFile builds a System from an XML snapshot produced by SaveCorpus or

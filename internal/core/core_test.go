@@ -132,7 +132,7 @@ func TestCustomClassifierPluggable(t *testing.T) {
 	if len(top) != 1 {
 		t.Fatal("no travel ranking")
 	}
-	if sys.Result().DomainScores[top[0]][lexicon.Economics] != 0 {
+	if sys.Result().DomainScore(top[0], lexicon.Economics) != 0 {
 		t.Fatal("fixed classifier must put zero weight on Economics")
 	}
 }

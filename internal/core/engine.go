@@ -70,7 +70,14 @@ type EngineStatus struct {
 	Iterations       int           `json:"iterations"`
 	Converged        bool          `json:"converged"`
 	ReusedPosteriors int           `json:"reusedPosteriors"`
-	Closed           bool          `json:"closed"`
+	// ReusedNovelty / ReusedSentiments / PageRankSkipped report how much of
+	// the last flush was served from the analysis cache: posts whose
+	// tokenization was reused, comments whose sentiment was reused, and
+	// whether the GL PageRank solve was skipped outright.
+	ReusedNovelty    int  `json:"reusedNovelty"`
+	ReusedSentiments int  `json:"reusedSentiments"`
+	PageRankSkipped  bool `json:"pageRankSkipped"`
+	Closed           bool `json:"closed"`
 	// LastError is the most recent re-analysis failure ("" when the last
 	// attempt succeeded). Failed analyses keep their mutations pending, so
 	// the flusher retries them on the next tick.
@@ -92,6 +99,12 @@ type Engine struct {
 	opts EngineOptions
 	cl   classify.Classifier
 	an   *influence.Analyzer
+	// cache carries per-entity analysis facets (tokenization, novelty
+	// shingles, classifier posteriors, comment sentiment, the PageRank
+	// vector) across flushes, so a re-analysis only pays for the delta.
+	// It is touched exclusively under analyzeSem; stale entries evict
+	// automatically when posts disappear from the corpus.
+	cache *influence.Cache
 
 	snap atomic.Pointer[Snapshot]
 
@@ -132,6 +145,7 @@ func NewEngine(c *blog.Corpus, opts EngineOptions) (*Engine, error) {
 		opts:       opts,
 		cl:         cl,
 		an:         an,
+		cache:      influence.NewCache(),
 		corpus:     c,
 		analyzeSem: make(chan struct{}, 1),
 		kick:       make(chan struct{}, 1),
@@ -171,6 +185,9 @@ func (e *Engine) Status() EngineStatus {
 		Iterations:       s.Result().Iterations,
 		Converged:        s.Result().Converged,
 		ReusedPosteriors: s.Result().ReusedPosteriors,
+		ReusedNovelty:    s.Result().ReusedNovelty,
+		ReusedSentiments: s.Result().ReusedSentiments,
+		PageRankSkipped:  s.Result().PageRankSkipped,
 		Closed:           closed,
 		LastError:        lastErr,
 	}
@@ -601,7 +618,7 @@ func (e *Engine) publish(frozen *blog.Corpus, total uint64) error {
 // more mutations land during the analysis.
 func (e *Engine) publishWarm(frozen *blog.Corpus, total uint64, prev *influence.Result) error {
 	t0 := time.Now()
-	sys, err := newSystem(frozen, e.opts.Options, e.cl, e.an, prev)
+	sys, err := newSystem(frozen, e.opts.Options, e.cl, e.an, prev, e.cache)
 	if err != nil {
 		return err
 	}

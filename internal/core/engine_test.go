@@ -207,10 +207,10 @@ func TestEngineWarmMatchesCold(t *testing.T) {
 			t.Fatalf("post %s: warm %v vs cold %v", p, wr.PostScores[p], s)
 		}
 	}
-	for b, ds := range cr.DomainScores {
+	for b, ds := range cr.DomainScoresMap() {
 		for d, s := range ds {
-			if math.Abs(wr.DomainScores[b][d]-s) > 1e-9 {
-				t.Fatalf("domain %s/%s: warm %v vs cold %v", b, d, wr.DomainScores[b][d], s)
+			if math.Abs(wr.DomainScore(b, d)-s) > 1e-9 {
+				t.Fatalf("domain %s/%s: warm %v vs cold %v", b, d, wr.DomainScore(b, d), s)
 			}
 		}
 	}
@@ -361,5 +361,160 @@ func TestEngineStreamingCrawl(t *testing.T) {
 	c2 := e.Current().Corpus()
 	if len(c2.Posts) != len(c.Posts) || len(c2.Links) != len(c.Links) {
 		t.Fatal("re-streaming the same crawl duplicated data")
+	}
+}
+
+// TestEngineCachedFlushReuse pins the incremental-flush contract: after a
+// small live batch, the flush must serve every unchanged post's
+// tokenization and posterior from the engine's analysis cache, and skip
+// the PageRank solve outright while the link graph is unchanged.
+func TestEngineCachedFlushReuse(t *testing.T) {
+	// Huge debounce thresholds so the only flushes are this test's explicit
+	// Refresh calls — the counters below are then exact.
+	e := startEngine(t, synthCorpus(t, 83, 30, 200), EngineOptions{
+		FlushEvery:    1 << 20,
+		FlushInterval: time.Hour,
+	})
+	initialPosts := len(e.Current().Corpus().Posts)
+	base := e.Current().Corpus().BloggerIDs()
+
+	for i := 0; i < 10; i++ {
+		pid := blog.PostID(fmt.Sprintf("reuse-%d", i))
+		if err := e.AddPost(&blog.Post{
+			ID: pid, Author: base[i%5],
+			Body: fmt.Sprintf("incremental coverage of the art fair, part %d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddComment(pid, blog.Comment{Commenter: base[(i+2)%len(base)], Text: "agree, superb"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Status()
+	if st.ReusedNovelty != initialPosts {
+		t.Fatalf("flush re-tokenized unchanged posts: reused %d, want %d", st.ReusedNovelty, initialPosts)
+	}
+	if st.ReusedPosteriors != initialPosts {
+		t.Fatalf("flush re-classified unchanged posts: reused %d, want %d", st.ReusedPosteriors, initialPosts)
+	}
+	if !st.PageRankSkipped {
+		t.Fatal("posts and comments do not touch the link graph; PageRank must be skipped")
+	}
+
+	// A link mutation invalidates the cached GL vector.
+	if err := e.AddLink("reuse-fresh-blogger", base[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if e.Status().PageRankSkipped {
+		t.Fatal("a new link must force the PageRank solve to re-run")
+	}
+}
+
+// TestEngineConcurrentIngestWithCachedFlushes hammers the engine with
+// concurrent ingestion AND concurrent forced refreshes, so the analysis
+// cache is exercised back-to-back while the corpus mutates underneath
+// (run with -race). The final snapshot must still match a cold analysis.
+func TestEngineConcurrentIngestWithCachedFlushes(t *testing.T) {
+	e := startEngine(t, synthCorpus(t, 84, 25, 120), testEngineOptions())
+	base := e.Current().Corpus().BloggerIDs()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if err := e.Refresh(context.Background()); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	const ingesters, perIngester = 3, 20
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perIngester; i++ {
+				pid := blog.PostID(fmt.Sprintf("cc-%d-%d", g, i))
+				if err := e.AddPost(&blog.Post{
+					ID: pid, Author: base[(g*3+i)%len(base)],
+					Body: fmt.Sprintf("goroutine %d files report %d on medicine and travel", g, i),
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if err := e.AddComment(pid, blog.Comment{Commenter: base[(g+i)%len(base)], Text: "love it"}); err != nil {
+					errs <- err
+					return
+				}
+				if i%5 == 0 {
+					if err := e.AddLink(base[(g+i)%len(base)], blog.BloggerID(fmt.Sprintf("cc-hub-%d", g))); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	deadline := time.After(30 * time.Second)
+	for {
+		st := e.Status()
+		if st.TotalMutations >= uint64(ingesters*perIngester*2) {
+			break
+		}
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case <-deadline:
+			t.Fatalf("timed out at %d mutations", st.TotalMutations)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Current()
+	if err := warm.Corpus().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := FromCorpus(warm.Corpus(), Options{
+		Classifier: warm.Classifier(),
+		Influence:  e.opts.Influence,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, s := range cold.Result().BloggerScores {
+		if math.Abs(warm.Result().BloggerScores[b]-s) > 1e-9 {
+			t.Fatalf("cached flush diverged for %s: %v vs %v", b, warm.Result().BloggerScores[b], s)
+		}
 	}
 }

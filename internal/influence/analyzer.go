@@ -10,7 +10,6 @@ import (
 	"mass/internal/graph"
 	"mass/internal/linkrank"
 	"mass/internal/novelty"
-	"mass/internal/rank"
 	"mass/internal/sentiment"
 	"mass/internal/textutil"
 )
@@ -26,7 +25,7 @@ type Analyzer struct {
 }
 
 // NewAnalyzer builds an analyzer. classifier may be nil when domain scores
-// are not needed (Result.DomainScores will then be empty).
+// are not needed (the Result's domain facet will then be empty).
 func NewAnalyzer(cfg Config, classifier classify.Classifier) (*Analyzer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -38,36 +37,9 @@ func NewAnalyzer(cfg Config, classifier classify.Classifier) (*Analyzer, error) 
 	}, nil
 }
 
-// Result holds everything the influence analysis produces.
-type Result struct {
-	// BloggerScores is Inf(b) for every blogger (Eq. 1).
-	BloggerScores map[blog.BloggerID]float64
-	// PostScores is Inf(b, d_k) for every post (Eq. 4).
-	PostScores map[blog.PostID]float64
-	// AP is the Accumulated Post influence Σ_k Inf(b, d_k).
-	AP map[blog.BloggerID]float64
-	// GL is the General Links authority (PageRank over the link graph).
-	GL map[blog.BloggerID]float64
-	// Quality is each post's quality score (normalized length × novelty).
-	Quality map[blog.PostID]float64
-	// Novelty is each post's novelty factor.
-	Novelty map[blog.PostID]float64
-	// PostDomains is iv(b, d_k, C_t): the classifier posterior per post.
-	PostDomains map[blog.PostID]map[string]float64
-	// DomainScores is Inf(b, C_t) for every blogger and domain (Eq. 5).
-	DomainScores map[blog.BloggerID]map[string]float64
-	// Iterations and Converged report fixed-point solver behaviour.
-	Iterations int
-	Converged  bool
-	// ReusedPosteriors counts posts whose classifier posterior was carried
-	// over from the previous result on the AnalyzeWarm path (0 on a cold
-	// Analyze).
-	ReusedPosteriors int
-}
-
 // Analyze runs the full pipeline on the corpus. It never modifies c.
 func (a *Analyzer) Analyze(c *blog.Corpus) (*Result, error) {
-	return a.analyze(c, nil)
+	return a.analyze(c, nil, nil)
 }
 
 // AnalyzeWarm re-analyzes a corpus starting from a previous result's
@@ -81,10 +53,27 @@ func (a *Analyzer) Analyze(c *blog.Corpus) (*Result, error) {
 // The final scores are identical to a cold Analyze (the fixed point is
 // unique); only the iteration count and classification work differ.
 func (a *Analyzer) AnalyzeWarm(c *blog.Corpus, prev *Result) (*Result, error) {
-	return a.analyze(c, prev)
+	return a.analyze(c, prev, nil)
 }
 
-func (a *Analyzer) analyze(c *blog.Corpus, prev *Result) (*Result, error) {
+// AnalyzeCached is the fully incremental path: on top of AnalyzeWarm's
+// solver warm start and posterior reuse, every expensive per-entity facet
+// — tokenization (word counts and novelty shingles), near-duplicate
+// novelty scores, comment sentiment, and the GL PageRank vector — is
+// carried in cache across calls, so a re-analysis after a small batch
+// only pays for the delta. The cache must be dedicated to one evolving
+// corpus lineage and must not be used concurrently; prev may be nil (the
+// facets still reuse, only the solver starts cold, which keeps the result
+// bit-for-bit identical to Analyze). See Cache for the exact reuse and
+// eviction rules.
+func (a *Analyzer) AnalyzeCached(c *blog.Corpus, prev *Result, cache *Cache) (*Result, error) {
+	return a.analyze(c, prev, cache)
+}
+
+// analyze is the shared pipeline. A nil cache gets a throwaway one so the
+// cold and incremental paths are literally the same code; only reuse
+// differs (a fresh cache reuses nothing).
+func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result, error) {
 	var warm map[blog.BloggerID]float64
 	if prev != nil {
 		warm = prev.BloggerScores
@@ -92,11 +81,20 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("influence: invalid corpus: %w", err)
 	}
+	if cache == nil {
+		cache = NewCache()
+	}
+	cache.evictMissing(c)
+
 	bloggers := c.BloggerIDs()
 	posts := c.PostIDs()
 	bIdx := make(map[blog.BloggerID]int, len(bloggers))
 	for i, id := range bloggers {
 		bIdx[id] = i
+	}
+	pIdx := make(map[blog.PostID]int, len(posts))
+	for i, id := range posts {
+		pIdx[id] = i
 	}
 
 	res := &Result{
@@ -106,24 +104,31 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result) (*Result, error) {
 		GL:            make(map[blog.BloggerID]float64, len(bloggers)),
 		Quality:       make(map[blog.PostID]float64, len(posts)),
 		Novelty:       make(map[blog.PostID]float64, len(posts)),
-		PostDomains:   make(map[blog.PostID]map[string]float64, len(posts)),
-		DomainScores:  make(map[blog.BloggerID]map[string]float64, len(bloggers)),
+		bloggers:      bloggers,
+		posts:         posts,
+		bloggerIdx:    bIdx,
+		postIdx:       pIdx,
 	}
 
 	// --- GL facet: PageRank over the hyperlink graph (Eq. 1). ---
-	gl := a.computeGL(c, bloggers)
+	gl, glReused := a.computeGL(c, bloggers, cache)
+	res.PageRankSkipped = glReused
 	for i, id := range bloggers {
 		res.GL[id] = gl[i]
 	}
 
 	// --- Quality facet: normalized length × novelty (Eq. 2). ---
-	quality, nov := a.computeQuality(c, posts)
+	quality, nov, reusedNov := a.computeQuality(c, posts, cache)
+	res.ReusedNovelty = reusedNov
 	for i, pid := range posts {
 		res.Quality[pid] = quality[i]
 		res.Novelty[pid] = nov[i]
 	}
 
-	// --- Comment facet precomputation: (commenter index, SF/TC) pairs. ---
+	// --- Comment facet: sentiment factors (cached per comment), then the
+	// (commenter index, SF/TC) pairs the solver sweeps over. ---
+	sf, reusedSent := a.sentimentFactors(c, posts, cache)
+	res.ReusedSentiments = reusedSent
 	type commentRef struct {
 		commenter int
 		weight    float64 // SF / TC(b_j); with IgnoreCitation, just SF
@@ -132,17 +137,20 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result) (*Result, error) {
 	for i, pid := range posts {
 		p := c.Posts[pid]
 		refs := make([]commentRef, 0, len(p.Comments))
-		for _, cm := range p.Comments {
-			sf := a.sentimentFactor(cm.Text)
+		for j, cm := range p.Comments {
+			s := 1.0
+			if sf != nil {
+				s = sf[i][j]
+			}
 			tc := c.TotalComments(cm.Commenter)
 			if tc == 0 {
 				// Impossible by construction (the commenter wrote this very
 				// comment), but guard against corrupted indexes.
 				continue
 			}
-			w := sf / float64(tc)
+			w := s / float64(tc)
 			if a.cfg.IgnoreCitation {
-				w = sf
+				w = s
 			}
 			refs = append(refs, commentRef{commenter: bIdx[cm.Commenter], weight: w})
 		}
@@ -231,63 +239,74 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result) (*Result, error) {
 		res.PostScores[pid] = postInf[i]
 	}
 
-	// --- Domain facet: iv posteriors and Eq. 5 aggregation. ---
-	// Classification dominates analysis cost on large corpora and each
-	// call is independent, so it parallelizes across cfg.Workers.
-	// (Classifier implementations must be safe for concurrent reads,
-	// which holds for every classifier in this repository: they are
+	// --- Domain facet: iv posteriors and Eq. 5 aggregation, on the dense
+	// interned core. Classification dominates analysis cost on large
+	// corpora and each call is independent, so fresh posts fan out across
+	// cfg.Workers. (Classifier implementations must be safe for concurrent
+	// reads, which holds for every classifier in this repository: they are
 	// immutable after training.)
 	if a.classifier != nil {
-		dists := make([]map[string]float64, len(posts))
-		reused := 0
-		if prev != nil {
-			for i, pid := range posts {
-				if d, ok := prev.PostDomains[pid]; ok {
-					dists[i] = d
-					reused++
-				}
-			}
-		}
-		if reused < len(posts) {
-			a.parallelSweep(len(posts), func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					if dists[i] == nil {
-						dists[i] = a.classifier.Classify(c.Posts[posts[i]].Body)
-					}
-				}
-			})
-		}
-		res.ReusedPosteriors = reused
+		cache.seedPosteriorsFromPrev(prev)
+		var fresh []int
 		for i, pid := range posts {
-			dist := dists[i]
-			res.PostDomains[pid] = dist
-			author := bloggers[postAuthor[i]]
-			ds := res.DomainScores[author]
-			if ds == nil {
-				ds = map[string]float64{}
-				res.DomainScores[author] = ds
-			}
-			for dom, p := range dist {
-				ds[dom] += postInf[i] * p
+			if f := cache.posts[pid]; f == nil || !f.hasPosterior {
+				fresh = append(fresh, i)
 			}
 		}
-		// Bloggers with no posts still get an explicit zero vector so
-		// consumers can iterate uniformly.
-		for _, id := range bloggers {
-			if res.DomainScores[id] == nil {
-				res.DomainScores[id] = map[string]float64{}
+		res.ReusedPosteriors = len(posts) - len(fresh)
+		dists := make([]map[string]float64, len(fresh))
+		a.parallelSweep(len(fresh), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				dists[k] = a.classifier.Classify(c.Posts[posts[fresh[k]]].Body)
+			}
+		})
+		// Interning mutates the shared index, so the dense conversion runs
+		// serially, in post order, for a deterministic slot layout.
+		for k, i := range fresh {
+			f := cache.facets(posts[i])
+			f.posterior = cache.domains.denseRow(dists[k])
+			f.hasPosterior = true
+		}
+
+		res.domains = cache.domains.clone()
+		res.hasDomains = true
+		nd := res.domains.Len()
+		res.postDomains = make([]float64, len(posts)*nd)
+		for i, pid := range posts {
+			// Rows cached before later domains were interned are shorter;
+			// the prefix copy leaves the new slots at zero, which is exact.
+			copy(res.postDomains[i*nd:(i+1)*nd], cache.posts[pid].posterior)
+		}
+		res.domainScores = make([]float64, len(bloggers)*nd)
+		for i := range posts {
+			row := res.postDomains[i*nd : (i+1)*nd]
+			ds := res.domainScores[postAuthor[i]*nd : (postAuthor[i]+1)*nd]
+			w := postInf[i]
+			for di, p := range row {
+				ds[di] += w * p
 			}
 		}
+	} else {
+		res.domains = newDomainIndex()
 	}
 	return res, nil
 }
 
 // computeGL builds the blogger-level hyperlink graph and runs PageRank.
-// When the authority facet is disabled the GL vector is all zeros.
-func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID) []float64 {
-	gl := make([]float64, len(bloggers))
+// When the cache holds a GL vector for this exact graph (same link epoch,
+// link count and blogger set), the solve is skipped and the vector reused
+// verbatim — bit-for-bit what a fresh solve would produce, since PageRank
+// is deterministic. When the graph changed, the previous vector seeds the
+// iteration (linkrank.Options.Warm) so the solve converges in a handful of
+// sweeps. When the authority facet is disabled the GL vector is all zeros.
+func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID, cache *Cache) (gl []float64, reused bool) {
+	gl = make([]float64, len(bloggers))
 	if a.cfg.IgnoreAuthority {
-		return gl
+		return gl, false
+	}
+	if cache.glMatches(c, bloggers) {
+		copy(gl, cache.gl)
+		return gl, true
 	}
 	g := graph.New()
 	for _, id := range bloggers {
@@ -296,21 +315,32 @@ func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID) []float6
 	for _, l := range c.Links {
 		g.AddEdge(string(l.From), string(l.To))
 	}
-	pr := linkrank.PageRank(g, a.cfg.PageRank)
+	opts := a.cfg.PageRank
+	if opts.Warm == nil {
+		opts.Warm = cache.glWarmMap()
+	}
+	pr := linkrank.PageRank(g, opts)
 	for i, id := range bloggers {
 		gl[i] = pr.Scores[string(id)]
 	}
-	return gl
+	cache.storeGL(c.LinkEpoch(), c.Links, bloggers, gl)
+	return gl, false
 }
 
 // computeQuality scores every post: token count normalized by the corpus
-// maximum, times the novelty factor. Posts are scored in chronological
-// order so the near-duplicate detector sees originals first.
-func (a *Analyzer) computeQuality(c *blog.Corpus, posts []blog.PostID) (quality, nov []float64) {
-	quality = make([]float64, len(posts))
-	nov = make([]float64, len(posts))
+// maximum, times the novelty factor. Tokenization (word counts + shingles)
+// dominates quality scoring; cached posts skip it entirely, and fresh posts
+// tokenize in parallel. Novelty is scored in chronological order so the
+// near-duplicate detector sees originals first; when the cached scoring
+// order is a prefix of the current one (the live-append common case), only
+// the new tail runs through the detector, otherwise the detector resets
+// and replays from the cached shingles.
+func (a *Analyzer) computeQuality(c *blog.Corpus, posts []blog.PostID, cache *Cache) (quality, nov []float64, reused int) {
+	n := len(posts)
+	quality = make([]float64, n)
+	nov = make([]float64, n)
 
-	order := make([]int, len(posts))
+	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
@@ -322,46 +352,142 @@ func (a *Analyzer) computeQuality(c *blog.Corpus, posts []blog.PostID) (quality,
 		return px.ID < py.ID
 	})
 
-	// Tokenization (word counts + shingles) dominates quality scoring and
-	// is embarrassingly parallel; only the seen-index pass below must run
-	// serially in chronological order.
-	det := novelty.New()
-	lengths := make([]float64, len(posts))
-	prepared := make([]novelty.Prepared, len(posts))
-	a.parallelSweep(len(posts), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body := c.Posts[posts[i]].Body
-			lengths[i] = float64(textutil.WordCount(body))
-			if !a.cfg.IgnoreNovelty {
-				prepared[i] = det.Prepare(body)
+	needNovelty := !a.cfg.IgnoreNovelty
+	var fresh []int
+	for i, pid := range posts {
+		if f := cache.posts[pid]; f != nil && f.tokenized && (!needNovelty || f.hasPrepared) {
+			reused++
+		} else {
+			fresh = append(fresh, i)
+		}
+	}
+	freshWords := make([]float64, len(fresh))
+	freshPrep := make([]novelty.Prepared, len(fresh))
+	a.parallelSweep(len(fresh), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			body := c.Posts[posts[fresh[k]]].Body
+			freshWords[k] = float64(textutil.WordCount(body))
+			if needNovelty {
+				freshPrep[k] = cache.det.Prepare(body) // Prepare is pure
 			}
 		}
 	})
+	for k, i := range fresh {
+		f := cache.facets(posts[i])
+		f.words = freshWords[k]
+		f.tokenized = true
+		if needNovelty {
+			f.prepared = freshPrep[k]
+			f.hasPrepared = true
+		}
+	}
+
+	lengths := make([]float64, n)
 	maxLen := 0.0
-	for _, l := range lengths {
-		if l > maxLen {
-			maxLen = l
+	for i, pid := range posts {
+		lengths[i] = cache.posts[pid].words
+		if lengths[i] > maxLen {
+			maxLen = lengths[i]
 		}
 	}
-	for _, i := range order {
-		n := novelty.OriginalScore
-		if !a.cfg.IgnoreNovelty {
-			n = det.ScorePrepared(prepared[i])
+
+	if !needNovelty {
+		for i := range nov {
+			nov[i] = novelty.OriginalScore
 		}
-		nov[i] = n
-		if maxLen > 0 {
-			quality[i] = lengths[i] / maxLen * n
+	} else {
+		chronoIDs := make([]blog.PostID, n)
+		for k, oi := range order {
+			chronoIDs[k] = posts[oi]
+		}
+		usable := cache.orderIsPrefix(chronoIDs)
+		if usable {
+			for _, pid := range cache.order {
+				if f := cache.posts[pid]; f == nil || !f.hasNov {
+					usable = false
+					break
+				}
+			}
+		}
+		if !usable {
+			cache.resetNovelty()
+		}
+		scored := len(cache.order)
+		for k := 0; k < scored; k++ {
+			nov[order[k]] = cache.posts[chronoIDs[k]].nov
+		}
+		for k := scored; k < n; k++ {
+			pid := chronoIDs[k]
+			f := cache.facets(pid)
+			f.nov = cache.det.ScorePrepared(f.prepared)
+			f.hasNov = true
+			cache.order = append(cache.order, pid)
+			nov[order[k]] = f.nov
 		}
 	}
-	return quality, nov
+
+	if maxLen > 0 {
+		for i := range quality {
+			quality[i] = lengths[i] / maxLen * nov[i]
+		}
+	}
+	return quality, nov, reused
 }
 
-// sentimentFactor maps a comment's text to its SF value.
-func (a *Analyzer) sentimentFactor(text string) float64 {
+// sentimentFactors returns the SF value of every comment, grouped per post
+// in posts order, reusing cached polarities (comments are append-only per
+// post under the corpus COW contract, so a cached prefix never goes
+// stale). Fresh comments are scored in parallel across posts; the cache
+// merge runs serially afterwards. Returns nil when sentiment is ignored
+// (every comment then counts as SF = 1).
+func (a *Analyzer) sentimentFactors(c *blog.Corpus, posts []blog.PostID, cache *Cache) (sf [][]float64, reused int) {
 	if a.cfg.IgnoreSentiment {
-		return 1
+		return nil, 0
 	}
-	switch a.sent.Score(text) {
+	sf = make([][]float64, len(posts))
+	newPols := make([][]sentiment.Polarity, len(posts))
+	reusedPer := make([]int, len(posts))
+	a.parallelSweep(len(posts), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := c.Posts[posts[i]]
+			known := cache.posts[posts[i]].sentiments
+			if len(known) > len(p.Comments) {
+				// Comments shrank — a COW-contract violation; trust only
+				// the still-present prefix.
+				known = known[:len(p.Comments)]
+			}
+			out := make([]float64, len(p.Comments))
+			for j, pol := range known {
+				out[j] = a.factorOf(pol)
+			}
+			reusedPer[i] = len(known)
+			if len(known) < len(p.Comments) {
+				pols := make([]sentiment.Polarity, 0, len(p.Comments)-len(known))
+				for j := len(known); j < len(p.Comments); j++ {
+					pol := a.sent.Score(p.Comments[j].Text)
+					out[j] = a.factorOf(pol)
+					pols = append(pols, pol)
+				}
+				newPols[i] = pols
+			}
+			sf[i] = out
+		}
+	})
+	for i, pols := range newPols {
+		if pols != nil {
+			f := cache.facets(posts[i])
+			f.sentiments = append(f.sentiments, pols...)
+		}
+	}
+	for _, r := range reusedPer {
+		reused += r
+	}
+	return sf, reused
+}
+
+// factorOf maps a comment polarity to its configured SF value.
+func (a *Analyzer) factorOf(p sentiment.Polarity) float64 {
+	switch p {
 	case sentiment.Positive:
 		return a.cfg.SFPositive
 	case sentiment.Negative:
@@ -395,51 +521,4 @@ func (a *Analyzer) parallelSweep(n int, f func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
-}
-
-// TopKGeneral returns the k most influential bloggers by overall Inf(b).
-func (r *Result) TopKGeneral(k int) []blog.BloggerID {
-	return toBloggerIDs(topKFromMap(bloggerScoreMap(r.BloggerScores), k))
-}
-
-// TopKDomain returns the k most influential bloggers in the given domain
-// by Inf(b, C_t). Bloggers without the domain score 0.
-func (r *Result) TopKDomain(domain string, k int) []blog.BloggerID {
-	m := make(map[string]float64, len(r.DomainScores))
-	for b, ds := range r.DomainScores {
-		m[string(b)] = ds[domain]
-	}
-	return toBloggerIDs(topKFromMap(m, k))
-}
-
-// DomainVector returns Inf(b, IV): blogger b's influence score on every
-// domain, as a copy safe to mutate.
-func (r *Result) DomainVector(b blog.BloggerID) map[string]float64 {
-	out := map[string]float64{}
-	for d, s := range r.DomainScores[b] {
-		out[d] = s
-	}
-	return out
-}
-
-func bloggerScoreMap(m map[blog.BloggerID]float64) map[string]float64 {
-	out := make(map[string]float64, len(m))
-	for k, v := range m {
-		out[string(k)] = v
-	}
-	return out
-}
-
-// topKFromMap returns the ids of the k top-scored entries, ties broken by
-// ascending id, delegating to the rank package.
-func topKFromMap(scores map[string]float64, k int) []string {
-	return rank.IDs(rank.TopK(scores, k))
-}
-
-func toBloggerIDs(ids []string) []blog.BloggerID {
-	out := make([]blog.BloggerID, len(ids))
-	for i, id := range ids {
-		out[i] = blog.BloggerID(id)
-	}
-	return out
 }

@@ -285,7 +285,7 @@ func TestFigure1Analysis(t *testing.T) {
 	}
 	// Domain separation: post2 (Economics) belongs overwhelmingly to
 	// Economics per the classifier.
-	iv := res.PostDomains["post2"]
+	iv := res.PostDomainVector("post2")
 	if top2, _ := classify.Top(iv); top2 != lexicon.Economics {
 		t.Fatalf("post2 classified as %v, want Economics (iv=%v)", top2, iv)
 	}
@@ -295,7 +295,7 @@ func TestFigure1Analysis(t *testing.T) {
 		t.Fatalf("Economics top = %v, want Amery", econTop)
 	}
 	// Sum over domains of Inf(b,Ct) equals AP(b) because Σ_t iv = 1.
-	for b, ds := range res.DomainScores {
+	for b, ds := range res.DomainScoresMap() {
 		var sum float64
 		for _, s := range ds {
 			sum += s
@@ -346,9 +346,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("parallel mismatch for %s: %v vs %v", b, s, r2.BloggerScores[b])
 		}
 	}
-	for b, ds := range r1.DomainScores {
+	for b, ds := range r1.DomainScoresMap() {
 		for dom, s := range ds {
-			if r2.DomainScores[b][dom] != s {
+			if r2.DomainScore(b, dom) != s {
 				t.Fatalf("parallel domain mismatch for %s/%s", b, dom)
 			}
 		}
@@ -493,7 +493,7 @@ func TestDomainVectorCopy(t *testing.T) {
 		t.Fatal("Amery must have a domain vector")
 	}
 	v[lexicon.Sports] = 999
-	if res.DomainScores["Amery"][lexicon.Sports] == 999 {
+	if res.DomainScore("Amery", lexicon.Sports) == 999 {
 		t.Fatal("DomainVector must return a copy")
 	}
 }

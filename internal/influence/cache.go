@@ -1,0 +1,217 @@
+package influence
+
+import (
+	"mass/internal/blog"
+	"mass/internal/novelty"
+	"mass/internal/sentiment"
+)
+
+// Cache carries the expensive per-entity analysis facets across repeated
+// analyses of one evolving corpus, so a re-analysis after an incremental
+// batch only pays for what actually changed:
+//
+//   - per post (bodies are immutable, so these never go stale): the word
+//     count, the prepared novelty shingles, the novelty score, and the
+//     classifier posterior (as a dense row over the cache's domain index);
+//   - per comment (append-only under the corpus's copy-on-write contract):
+//     the sentiment polarity;
+//   - the GL authority vector, keyed by the corpus link epoch, so PageRank
+//     is skipped outright when the link graph and blogger set are
+//     unchanged, and warm-started from the previous vector when they are
+//     not.
+//
+// A Cache must only be used with snapshots of a single evolving corpus
+// lineage (the Engine's flush loop is the intended owner) and is not safe
+// for concurrent use; the engine serializes analyses. The one contract the
+// lineage must keep is the one the corpus API already enforces: a post ID
+// permanently identifies one immutable body. Posts that disappear from the
+// corpus (a reset or bulk rewrite) are evicted automatically on the next
+// analysis, and the novelty replay detects reordering, so a swapped corpus
+// with fresh post IDs degrades to a cold analysis instead of a wrong one.
+// When replacing the corpus wholesale with one that may recycle post IDs
+// for different bodies, call Reset first.
+type Cache struct {
+	domains *DomainIndex
+	posts   map[blog.PostID]*postFacets
+
+	// Near-duplicate detection state: det has scored the posts listed in
+	// order (chronological). A new analysis whose chronological prefix
+	// matches order continues scoring incrementally; any mismatch resets
+	// det and replays from the cached prepared shingles.
+	det   *novelty.Detector
+	order []blog.PostID
+
+	// GL facet cache.
+	glValid    bool
+	glEpoch    uint64
+	glLinks    []blog.Link
+	glBloggers []blog.BloggerID
+	gl         []float64
+}
+
+// postFacets are the cached immutable-body derivatives of one post.
+type postFacets struct {
+	words     float64
+	tokenized bool // words (and prepared, unless novelty is disabled) valid
+
+	prepared    novelty.Prepared
+	hasPrepared bool
+
+	nov    float64
+	hasNov bool // valid only while the post is in Cache.order
+
+	posterior    []float64 // dense row over Cache.domains; nil = not classified
+	hasPosterior bool
+
+	sentiments []sentiment.Polarity // per comment, prefix-aligned to Post.Comments
+}
+
+// NewCache returns an empty analysis cache.
+func NewCache() *Cache {
+	return &Cache{
+		domains: newDomainIndex(),
+		posts:   map[blog.PostID]*postFacets{},
+		det:     novelty.New(),
+	}
+}
+
+// Reset drops everything, returning the cache to its NewCache state.
+func (ch *Cache) Reset() {
+	*ch = *NewCache()
+}
+
+// Posts reports how many posts currently have cached facets.
+func (ch *Cache) Posts() int { return len(ch.posts) }
+
+// facets returns the cache entry for pid, creating it on first sight.
+func (ch *Cache) facets(pid blog.PostID) *postFacets {
+	f := ch.posts[pid]
+	if f == nil {
+		f = &postFacets{}
+		ch.posts[pid] = f
+	}
+	return f
+}
+
+// evictMissing drops cached posts that are no longer in the corpus — the
+// corpus was reset or bulk-rewritten. The sweep is O(cached posts) map
+// lookups per analysis, negligible next to the solver's own O(posts)
+// sweeps, and it runs unconditionally so a swap to an equal-or-larger
+// corpus cannot leak stale entries.
+func (ch *Cache) evictMissing(c *blog.Corpus) {
+	for pid := range ch.posts {
+		if _, ok := c.Posts[pid]; !ok {
+			delete(ch.posts, pid)
+		}
+	}
+}
+
+// orderIsPrefix reports whether the cached novelty scoring order is a
+// prefix of the current chronological order, i.e. every already-scored
+// post is still present, in the same position, with only new posts
+// appended after it. Only then can cached novelty scores and the persisted
+// detector be reused bit-for-bit.
+func (ch *Cache) orderIsPrefix(current []blog.PostID) bool {
+	if len(ch.order) > len(current) {
+		return false
+	}
+	for i, pid := range ch.order {
+		if current[i] != pid {
+			return false
+		}
+	}
+	return true
+}
+
+// resetNovelty clears the duplicate-detection state (prepared shingles and
+// word counts are kept — only the ordering-dependent scores go).
+func (ch *Cache) resetNovelty() {
+	ch.det = novelty.New()
+	ch.order = ch.order[:0]
+	for _, f := range ch.posts {
+		f.hasNov = false
+	}
+}
+
+// storeGL records the GL vector for the given graph identity.
+func (ch *Cache) storeGL(epoch uint64, links []blog.Link, bloggers []blog.BloggerID, gl []float64) {
+	ch.glValid = true
+	ch.glEpoch = epoch
+	ch.glLinks = append(ch.glLinks[:0], links...)
+	ch.glBloggers = append(ch.glBloggers[:0], bloggers...)
+	ch.gl = append(ch.gl[:0], gl...)
+}
+
+// glMatches reports whether the cached GL vector is exactly valid for the
+// corpus: same link epoch, same blogger set, same edge list. The epoch
+// check short-circuits the common unchanged case; the full O(V+E)
+// equality — trivial next to a PageRank solve — makes the skip exact even
+// for a caller feeding the cache a different corpus lineage whose epoch
+// coincides.
+func (ch *Cache) glMatches(c *blog.Corpus, bloggers []blog.BloggerID) bool {
+	if !ch.glValid || ch.glEpoch != c.LinkEpoch() || len(ch.glLinks) != len(c.Links) {
+		return false
+	}
+	if len(ch.glBloggers) != len(bloggers) {
+		return false
+	}
+	for i, b := range ch.glBloggers {
+		if bloggers[i] != b {
+			return false
+		}
+	}
+	for i, l := range ch.glLinks {
+		if c.Links[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// glWarmMap converts the cached GL vector into a warm-start seed for
+// PageRank, or nil when no previous vector exists.
+func (ch *Cache) glWarmMap() map[string]float64 {
+	if !ch.glValid || len(ch.gl) == 0 {
+		return nil
+	}
+	warm := make(map[string]float64, len(ch.gl))
+	for i, b := range ch.glBloggers {
+		warm[string(b)] = ch.gl[i]
+	}
+	return warm
+}
+
+// seedPosteriorsFromPrev copies classifier posteriors from a previous
+// result into the cache for posts the cache has not classified yet — the
+// bridge that lets AnalyzeWarm-style prev reuse and the cache share one
+// mechanism.
+func (ch *Cache) seedPosteriorsFromPrev(prev *Result) {
+	if prev == nil || !prev.hasDomains || prev.domains == nil {
+		return
+	}
+	nd := prev.domains.Len()
+	if nd == 0 || len(prev.postDomains) == 0 {
+		return
+	}
+	// Map prev's domain slots into the cache's (identical order when the
+	// cache is fresh, since both intern deterministically).
+	remap := make([]int, nd)
+	for i, name := range prev.domains.names {
+		remap[i] = ch.domains.intern(name)
+	}
+	for pid, pi := range prev.postIdx {
+		f := ch.facets(pid)
+		if f.hasPosterior {
+			continue
+		}
+		// row is sized after the remap loop interned every prev name, so
+		// every remapped slot fits.
+		row := make([]float64, ch.domains.Len())
+		src := prev.postDomains[pi*nd : (pi+1)*nd]
+		for i, p := range src {
+			row[remap[i]] = p
+		}
+		f.posterior = row
+		f.hasPosterior = true
+	}
+}

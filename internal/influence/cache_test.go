@@ -1,0 +1,282 @@
+package influence
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mass/internal/blog"
+	"mass/internal/linkrank"
+	"mass/internal/synth"
+)
+
+// tightConfig pins both solvers far below the comparison tolerance so a
+// cached run and a cold run land within 1e-12 of the same unique fixed
+// point even when PageRank warm-starts from a previous vector.
+func tightConfig() Config {
+	return Config{
+		Epsilon: 1e-13,
+		MaxIter: 1000,
+		PageRank: linkrank.Options{
+			Epsilon: 1e-14,
+			MaxIter: 1000,
+		},
+	}
+}
+
+// growMixed applies a mixed incremental batch to the corpus: new posts by
+// existing and new authors, comments on old and new posts, and fresh
+// links.
+func growMixed(t *testing.T, c *blog.Corpus, round int) {
+	t.Helper()
+	authors := c.BloggerIDs()
+	newcomer := blog.BloggerID(fmt.Sprintf("cache-newcomer-%d", round))
+	if err := c.AddBlogger(&blog.Blogger{ID: newcomer}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		author := authors[(round*7+i)%len(authors)]
+		if i == 0 {
+			author = newcomer
+		}
+		pid := blog.PostID(fmt.Sprintf("cache-post-%d-%d", round, i))
+		if err := c.AddPost(&blog.Post{
+			ID: pid, Author: author,
+			Body: fmt.Sprintf("round %d dispatch %d on coastal travel and late sports results", round, i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddComment(pid, blog.Comment{
+			Commenter: authors[(round+i*3)%len(authors)], Text: "I agree, wonderful take",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Comment on a pre-existing post too.
+	oldPost := c.PostIDs()[round%len(c.Posts)]
+	if err := c.AddComment(oldPost, blog.Comment{
+		Commenter: newcomer, Text: "terrible, I disagree",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddLinkDedup(newcomer, authors[round%len(authors)]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddLinkDedup(authors[(round+1)%len(authors)], newcomer); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCachedMatchesColdBitForBit is the cache acceptance test: after
+// several mixed add-post/add-comment/add-link batches, an AnalyzeCached
+// run that reuses every cached facet must agree with a from-scratch
+// Analyze to 1e-12 on every score surface.
+func TestCachedMatchesColdBitForBit(t *testing.T) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 91, Bloggers: 60, Posts: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAnalyzer(t, tightConfig(), trainDomainClassifier(t))
+	cache := NewCache()
+	if _, err := a.AnalyzeCached(corpus, nil, cache); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 3; round++ {
+		growMixed(t, corpus, round)
+		cached, err := a.AnalyzeCached(corpus, nil, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := a.Analyze(corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b, s := range cold.BloggerScores {
+			if d := math.Abs(cached.BloggerScores[b] - s); d > 1e-12 {
+				t.Fatalf("round %d blogger %s: cached %v vs cold %v (|Δ|=%g)",
+					round, b, cached.BloggerScores[b], s, d)
+			}
+		}
+		for p, s := range cold.PostScores {
+			if d := math.Abs(cached.PostScores[p] - s); d > 1e-12 {
+				t.Fatalf("round %d post %s: cached %v vs cold %v (|Δ|=%g)", round, p, cached.PostScores[p], s, d)
+			}
+		}
+		for p, s := range cold.Novelty {
+			if cached.Novelty[p] != s {
+				t.Fatalf("round %d novelty %s: cached %v vs cold %v", round, p, cached.Novelty[p], s)
+			}
+		}
+		for p, s := range cold.Quality {
+			if cached.Quality[p] != s {
+				t.Fatalf("round %d quality %s: cached %v vs cold %v", round, p, cached.Quality[p], s)
+			}
+		}
+		for b, ds := range cold.DomainScoresMap() {
+			for dom, s := range ds {
+				if d := math.Abs(cached.DomainScore(b, dom) - s); d > 1e-12 {
+					t.Fatalf("round %d domain %s/%s: cached %v vs cold %v (|Δ|=%g)",
+						round, b, dom, cached.DomainScore(b, dom), s, d)
+				}
+			}
+		}
+	}
+}
+
+// TestCachedReuseCounters pins the incremental contract: after a small
+// batch, every unchanged post's tokenization and posterior and every
+// pre-existing comment's sentiment must be served from the cache — zero
+// redundant recomputation.
+func TestCachedReuseCounters(t *testing.T) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 92, Bloggers: 40, Posts: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAnalyzer(t, Config{}, trainDomainClassifier(t))
+	cache := NewCache()
+	first, err := a.AnalyzeCached(corpus, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ReusedNovelty != 0 || first.ReusedPosteriors != 0 || first.ReusedSentiments != 0 {
+		t.Fatalf("first cached run must reuse nothing: %+v", first)
+	}
+	oldPosts := len(corpus.Posts)
+	oldComments := 0
+	for _, p := range corpus.Posts {
+		oldComments += len(p.Comments)
+	}
+
+	growMixed(t, corpus, 0)
+	res, err := a.AnalyzeCached(corpus, first, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReusedNovelty != oldPosts {
+		t.Fatalf("re-tokenized %d unchanged posts (reused %d, want %d)",
+			oldPosts-res.ReusedNovelty, res.ReusedNovelty, oldPosts)
+	}
+	if res.ReusedPosteriors != oldPosts {
+		t.Fatalf("re-classified %d unchanged posts (reused %d, want %d)",
+			oldPosts-res.ReusedPosteriors, res.ReusedPosteriors, oldPosts)
+	}
+	if res.ReusedSentiments != oldComments {
+		t.Fatalf("re-scored %d unchanged comments (reused %d, want %d)",
+			oldComments-res.ReusedSentiments, res.ReusedSentiments, oldComments)
+	}
+	if res.PageRankSkipped {
+		t.Fatal("the batch added links; PageRank must have re-run")
+	}
+
+	// No mutations at all: the PageRank solve is skipped outright.
+	again, err := a.AnalyzeCached(corpus, res, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.PageRankSkipped {
+		t.Fatal("unchanged link graph must skip the PageRank solve")
+	}
+	if again.ReusedNovelty != len(corpus.Posts) {
+		t.Fatalf("no-op flush re-tokenized posts: reused %d of %d", again.ReusedNovelty, len(corpus.Posts))
+	}
+}
+
+// TestCacheSurvivesCorpusSwap feeds the cache a completely different
+// corpus (fresh post IDs, per the cache's lineage contract): stale posts
+// must be evicted, the novelty replay must detect the reordering, and the
+// results must still match a cold analysis exactly.
+func TestCacheSurvivesCorpusSwap(t *testing.T) {
+	big, _, err := synth.Generate(synth.Config{Seed: 93, Bloggers: 40, Posts: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _, err := synth.Generate(synth.Config{Seed: 94, Bloggers: 15, Posts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-key the posts so no ID collides with big's: a post ID names one
+	// immutable body, so a wholesale swap must not recycle IDs.
+	small := blog.NewCorpus()
+	for _, id := range gen.BloggerIDs() {
+		if err := small.AddBlogger(gen.Bloggers[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pid := range gen.PostIDs() {
+		p := *gen.Posts[pid]
+		p.ID = "swap-" + p.ID
+		if err := small.AddPost(&p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range gen.Links {
+		if err := small.AddLink(l.From, l.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := mustAnalyzer(t, Config{}, trainDomainClassifier(t))
+	cache := NewCache()
+	if _, err := a.AnalyzeCached(big, nil, cache); err != nil {
+		t.Fatal(err)
+	}
+	cached, err := a.AnalyzeCached(small, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Posts() != len(small.Posts) {
+		t.Fatalf("stale posts not evicted: cache has %d, corpus has %d", cache.Posts(), len(small.Posts))
+	}
+	cold, err := a.Analyze(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, s := range cold.BloggerScores {
+		if math.Abs(cached.BloggerScores[b]-s) > 1e-9 {
+			t.Fatalf("swapped-corpus result differs for %s: %v vs %v", b, cached.BloggerScores[b], s)
+		}
+	}
+	for p, s := range cold.Novelty {
+		if cached.Novelty[p] != s {
+			t.Fatalf("swapped-corpus novelty differs for %s", p)
+		}
+	}
+}
+
+// TestCacheCommentAppendKeepsPrefix verifies the per-comment sentiment
+// cache tracks the copy-on-write append contract: a comment landing on an
+// old post reuses every earlier comment's polarity and scores only the
+// new one.
+func TestCacheCommentAppendKeepsPrefix(t *testing.T) {
+	c := blog.Figure1Corpus()
+	a := mustAnalyzer(t, Config{}, nil)
+	cache := NewCache()
+	if _, err := a.AnalyzeCached(c, nil, cache); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range c.Posts {
+		total += len(p.Comments)
+	}
+	pid := c.PostIDs()[0]
+	commenter := c.BloggerIDs()[0]
+	if err := c.AddComment(pid, blog.Comment{Commenter: commenter, Text: "support this fully"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.AnalyzeCached(c, nil, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReusedSentiments != total {
+		t.Fatalf("reused %d comment sentiments, want %d", res.ReusedSentiments, total)
+	}
+	cold, err := a.Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, s := range cold.BloggerScores {
+		if math.Abs(res.BloggerScores[b]-s) > 1e-12 {
+			t.Fatalf("comment-append cached result differs for %s", b)
+		}
+	}
+}

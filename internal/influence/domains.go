@@ -1,0 +1,78 @@
+package influence
+
+import "sort"
+
+// DomainIndex interns domain names into dense integer slots so the hot
+// aggregation loops can work on flat []float64 slabs instead of chasing
+// map-of-maps buckets. The index is append-only while an analysis builds
+// it; every published Result holds its own immutable copy, so readers of a
+// snapshot never race a later analysis interning new names.
+type DomainIndex struct {
+	names []string
+	idx   map[string]int
+}
+
+func newDomainIndex() *DomainIndex {
+	return &DomainIndex{idx: map[string]int{}}
+}
+
+// intern returns the slot of name, assigning the next free slot on first
+// sight.
+func (d *DomainIndex) intern(name string) int {
+	if i, ok := d.idx[name]; ok {
+		return i
+	}
+	i := len(d.names)
+	d.names = append(d.names, name)
+	d.idx[name] = i
+	return i
+}
+
+// lookup returns the slot of name without interning.
+func (d *DomainIndex) lookup(name string) (int, bool) {
+	i, ok := d.idx[name]
+	return i, ok
+}
+
+// Len reports the number of interned domains.
+func (d *DomainIndex) Len() int { return len(d.names) }
+
+// Names returns the interned domain names in slot order. The slice is
+// shared; callers must not modify it.
+func (d *DomainIndex) Names() []string { return d.names }
+
+// clone returns an independent copy, safe to freeze into a Result while
+// the original keeps interning.
+func (d *DomainIndex) clone() *DomainIndex {
+	c := &DomainIndex{
+		names: append([]string(nil), d.names...),
+		idx:   make(map[string]int, len(d.idx)),
+	}
+	for name, i := range d.idx {
+		c.idx[name] = i
+	}
+	return c
+}
+
+// denseRow converts a classifier posterior map into a dense row over the
+// index, interning unseen domains. New names are interned in sorted order
+// so the slot layout is deterministic across runs.
+func (d *DomainIndex) denseRow(dist map[string]float64) []float64 {
+	var fresh []string
+	for name := range dist {
+		if _, ok := d.idx[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	if len(fresh) > 0 {
+		sort.Strings(fresh)
+		for _, name := range fresh {
+			d.intern(name)
+		}
+	}
+	row := make([]float64, len(d.names))
+	for name, p := range dist {
+		row[d.idx[name]] = p
+	}
+	return row
+}

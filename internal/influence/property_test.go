@@ -100,7 +100,7 @@ func TestSolverPropertyRandomCorpora(t *testing.T) {
 				return false
 			}
 		}
-		for b, ds := range res.DomainScores {
+		for b, ds := range res.DomainScoresMap() {
 			var sum float64
 			for _, s := range ds {
 				sum += s

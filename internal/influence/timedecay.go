@@ -55,7 +55,7 @@ func decayWeights(c *blog.Corpus, posts []blog.PostID, dc DecayConfig) []float64
 // the domain decomposition (Eq. 5) and AP aggregation see consistently
 // faded posts.
 func (a *Analyzer) AnalyzeDecayed(c *blog.Corpus, dc DecayConfig) (*Result, error) {
-	res, err := a.analyze(c, nil)
+	res, err := a.analyze(c, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -82,13 +82,20 @@ func (a *Analyzer) AnalyzeDecayed(c *blog.Corpus, dc DecayConfig) (*Result, erro
 		res.BloggerScores[b] = alpha*ap + (1-alpha)*res.GL[b]
 	}
 	if a.classifier != nil {
-		for b := range res.DomainScores {
-			res.DomainScores[b] = map[string]float64{}
+		// Re-aggregate Eq. 5 over the dense slabs with the decayed post
+		// scores. This runs before any query touches the result, so the
+		// lazily precomputed rankings see the decayed scores.
+		nd := res.domains.Len()
+		for i := range res.domainScores {
+			res.domainScores[i] = 0
 		}
-		for _, pid := range posts {
-			author := c.Posts[pid].Author
-			for dom, p := range res.PostDomains[pid] {
-				res.DomainScores[author][dom] += res.PostScores[pid] * p
+		for pi, pid := range res.posts {
+			row := res.postDomains[pi*nd : (pi+1)*nd]
+			bi := res.bloggerIdx[c.Posts[pid].Author]
+			ds := res.domainScores[bi*nd : (bi+1)*nd]
+			w := res.PostScores[pid]
+			for di, p := range row {
+				ds[di] += w * p
 			}
 		}
 	}

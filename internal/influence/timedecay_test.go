@@ -103,7 +103,7 @@ func TestDecayDomainConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for b, ds := range decayed.DomainScores {
+	for b, ds := range decayed.DomainScoresMap() {
 		var sum float64
 		for _, s := range ds {
 			sum += s

@@ -108,10 +108,10 @@ func TestWarmReusesClassifierPosteriors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for b, ds := range cold.DomainScores {
+	for b, ds := range cold.DomainScoresMap() {
 		for d, s := range ds {
-			if math.Abs(warm.DomainScores[b][d]-s) > 1e-7 {
-				t.Fatalf("domain score differs for %s/%s: %v vs %v", b, d, warm.DomainScores[b][d], s)
+			if math.Abs(warm.DomainScore(b, d)-s) > 1e-7 {
+				t.Fatalf("domain score differs for %s/%s: %v vs %v", b, d, warm.DomainScore(b, d), s)
 			}
 		}
 	}

@@ -11,23 +11,47 @@ import (
 	"mass/internal/graph"
 )
 
+// ExplicitZero is a sentinel requesting a literal 0 for Damping or
+// Epsilon. The plain zero value of those fields means "use the default"
+// (the Go-idiomatic zero-value config), so a caller who genuinely wants
+// Damping = 0 (pure teleport) or Epsilon = 0 (no convergence cutoff; always
+// run MaxIter sweeps) sets the field to ExplicitZero instead.
+const ExplicitZero = -1
+
 // Options controls the iterative solvers.
 type Options struct {
 	// Damping is the PageRank damping factor d (probability of following a
-	// link rather than teleporting). Default 0.85.
+	// link rather than teleporting). Default 0.85. Set to ExplicitZero for a
+	// literal 0 (uniform teleport-only ranking).
 	Damping float64
-	// Epsilon is the L1 convergence threshold. Default 1e-10.
+	// Epsilon is the L1 convergence threshold. Default 1e-10. Set to
+	// ExplicitZero to disable the cutoff and always run MaxIter sweeps
+	// (Result.Converged then stays false).
 	Epsilon float64
 	// MaxIter bounds the number of sweeps. Default 200.
 	MaxIter int
+	// Warm optionally seeds the PageRank iteration with a previous score
+	// vector instead of the uniform start. When the graph changed only
+	// slightly since Warm was computed, the iteration starts near the new
+	// fixed point and converges in far fewer sweeps. Nodes missing from
+	// Warm start at 1/n; the seed is renormalized to sum to 1, so the
+	// stochastic invariant (and the converged result, which is unique for
+	// Damping < 1) is unaffected. Ignored by HITS.
+	Warm map[string]float64
 }
 
 func (o Options) withDefaults() Options {
-	if o.Damping == 0 {
+	switch o.Damping {
+	case 0:
 		o.Damping = 0.85
+	case ExplicitZero:
+		o.Damping = 0
 	}
-	if o.Epsilon == 0 {
+	switch o.Epsilon {
+	case 0:
 		o.Epsilon = 1e-10
+	case ExplicitZero:
+		o.Epsilon = 0
 	}
 	if o.MaxIter == 0 {
 		o.MaxIter = 200
@@ -69,8 +93,25 @@ func PageRank(g *graph.Directed, opts Options) Result {
 	}
 	cur := make([]float64, n)
 	next := make([]float64, n)
+	uniform := 1 / float64(n)
 	for i := range cur {
-		cur[i] = 1 / float64(n)
+		cur[i] = uniform
+	}
+	if len(opts.Warm) > 0 {
+		// Every entry is either a positive warm score or the uniform floor,
+		// so the sum is always positive and the renormalization is safe.
+		var sum float64
+		for i, id := range nodes {
+			if v, ok := opts.Warm[id]; ok && v > 0 {
+				cur[i] = v
+			} else {
+				cur[i] = uniform
+			}
+			sum += cur[i]
+		}
+		for i := range cur {
+			cur[i] /= sum
+		}
 	}
 	base := (1 - opts.Damping) / float64(n)
 	res := Result{Scores: make(map[string]float64, n)}

@@ -99,6 +99,75 @@ func TestPageRankMaxIterStops(t *testing.T) {
 	}
 }
 
+func TestPageRankExplicitZeroDamping(t *testing.T) {
+	// Damping = 0 means pure teleport: every node scores exactly 1/n no
+	// matter the edges. The plain zero value must still mean 0.85.
+	g := chain()
+	r := PageRank(g, Options{Damping: ExplicitZero})
+	for id, s := range r.Scores {
+		if math.Abs(s-1.0/3) > 1e-12 {
+			t.Fatalf("teleport-only score for %s = %v, want 1/3", id, s)
+		}
+	}
+	def := PageRank(g, Options{})
+	if math.Abs(def.Scores["c"]-1.0/3) < 1e-6 {
+		t.Fatalf("default damping must not be teleport-only: %v", def.Scores)
+	}
+}
+
+func TestPageRankExplicitZeroEpsilon(t *testing.T) {
+	// Epsilon = 0 disables the convergence cutoff: all MaxIter sweeps run
+	// and the result reports Converged = false.
+	r := PageRank(chain(), Options{Epsilon: ExplicitZero, MaxIter: 7})
+	if r.Converged || r.Iterations != 7 {
+		t.Fatalf("epsilon=0 must run exactly MaxIter sweeps: %+v", r)
+	}
+}
+
+func TestPageRankWarmStartSameFixedPoint(t *testing.T) {
+	g := graph.New()
+	rng := rand.New(rand.NewSource(5))
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, id := range ids {
+		g.AddNode(id)
+	}
+	for i := 0; i < 24; i++ {
+		from, to := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		if from != to {
+			g.AddEdge(from, to)
+		}
+	}
+	cold := PageRank(g, Options{})
+	warm := PageRank(g, Options{Warm: cold.Scores})
+	if !warm.Converged {
+		t.Fatal("warm start must converge")
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Fatalf("warm start no faster: %d vs %d iterations", warm.Iterations, cold.Iterations)
+	}
+	for id, s := range cold.Scores {
+		if math.Abs(warm.Scores[id]-s) > 1e-9 {
+			t.Fatalf("warm fixed point differs for %s: %v vs %v", id, warm.Scores[id], s)
+		}
+	}
+	if err := CheckStochastic(warm.Scores, 1e-8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankWarmStartPartialVector(t *testing.T) {
+	// Warm vectors from a smaller graph (missing nodes, stale mass) must
+	// still be renormalized into a valid start and reach the fixed point.
+	g := chain()
+	cold := PageRank(g, Options{})
+	warm := PageRank(g, Options{Warm: map[string]float64{"a": 0.9, "zz": 4}})
+	for id, s := range cold.Scores {
+		if math.Abs(warm.Scores[id]-s) > 1e-8 {
+			t.Fatalf("partial warm start diverged for %s: %v vs %v", id, warm.Scores[id], s)
+		}
+	}
+}
+
 func TestHITSChain(t *testing.T) {
 	auth, hub := HITS(chain(), Options{})
 	if !auth.Converged {

@@ -77,32 +77,22 @@ func (r *Recommender) WithinFriends(id blog.BloggerID, domain string, radius, k 
 		return nil, fmt.Errorf("recommend: unknown blogger %q", id)
 	}
 	members := blog.Neighborhood(r.corpus, id, radius)
-	iv := map[string]float64{domain: 1}
 	scores := map[string]float64{}
 	for b := range members {
 		if b == id {
 			continue
 		}
-		var dot float64
-		for d, w := range iv {
-			dot += r.result.DomainScores[b][d] * w
-		}
-		scores[string(b)] = dot
+		scores[string(b)] = r.result.DomainScore(b, domain)
 	}
 	return toRecommendations(rank.TopK(scores, k)), nil
 }
 
 func (r *Recommender) rankByVector(iv map[string]float64, k int, exclude map[blog.BloggerID]bool) []Recommendation {
-	scores := make(map[string]float64, len(r.result.DomainScores))
-	for b, dv := range r.result.DomainScores {
-		if exclude[b] {
-			continue
-		}
-		var dot float64
-		for d, w := range iv {
-			dot += dv[d] * w
-		}
-		scores[string(b)] = dot
+	// Dot products run over the result's dense domain slab; the exclusion
+	// set (at most the requesting member) is pruned afterwards.
+	scores := r.result.InterestScores(iv)
+	for b := range exclude {
+		delete(scores, string(b))
 	}
 	return toRecommendations(rank.TopK(scores, k))
 }

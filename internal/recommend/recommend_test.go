@@ -126,7 +126,7 @@ func TestForBloggerUsesProfileDomain(t *testing.T) {
 		t.Fatal("no recommendations")
 	}
 	// The top recommendation should have Medicine influence.
-	if f.res.DomainScores[recs[0].Blogger][lexicon.Medicine] == 0 {
+	if f.res.DomainScore(recs[0].Blogger, lexicon.Medicine) == 0 {
 		t.Fatalf("top rec %s has zero Medicine influence", recs[0].Blogger)
 	}
 }

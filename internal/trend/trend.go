@@ -113,21 +113,18 @@ func Analyze(c *blog.Corpus, res *influence.Result, cfg Config) (*Report, error)
 		Slopes:       map[string]float64{},
 	}
 
-	// Domain activity series: post influence × domain posterior.
+	// Domain activity series: post influence × domain posterior, streamed
+	// off the result's dense posterior rows (no per-post map allocation).
 	acc := map[string][]float64{}
 	for _, pid := range posts {
-		dist := res.PostDomains[pid]
-		if len(dist) == 0 {
-			continue
-		}
 		b := bucketOf(c.Posts[pid].Posted)
 		w := res.PostScores[pid]
-		for dom, p := range dist {
+		res.EachPostDomain(pid, func(dom string, p float64) {
 			if acc[dom] == nil {
 				acc[dom] = make([]float64, cfg.Buckets)
 			}
 			acc[dom][b] += w * p
-		}
+		})
 	}
 	for dom, vals := range acc {
 		report.DomainSeries[dom] = Series{Start: minT, Width: width, Values: vals}
