@@ -10,9 +10,15 @@
 //	mass-server -addr :8080                            start empty, ingest over HTTP
 //	mass-server -crawl http://blogs:9090 -seed Amery   stream-crawl into the engine
 //
-//	curl localhost:8080/api/top?k=3
-//	curl -X POST localhost:8080/api/posts -d '{"id":"p9","author":"Zoe","body":"..."}'
-//	curl localhost:8080/api/engine
+//	curl localhost:8080/api/v1                         discovery document
+//	curl 'localhost:8080/api/v1/bloggers/top?limit=3'
+//	curl -X POST localhost:8080/api/v1/posts -d '{"id":"p9","author":"Zoe","body":"..."}'
+//	curl localhost:8080/api/v1/engine
+//
+// Requests run behind the api package's middleware chain (request IDs,
+// structured logging, panic recovery, per-client rate limiting) and the
+// HTTP server enforces read/write/idle timeouts so one stuck client
+// cannot pin a connection forever.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish and
 // pending mutations are folded into a final snapshot.
@@ -49,6 +55,12 @@ func main() {
 		crawlSeed     = flag.String("seed", "", "seed blogger for -crawl")
 		crawlWorkers  = flag.Int("crawl-workers", 4, "concurrent fetchers for -crawl")
 		crawlRadius   = flag.Int("crawl-radius", 2, "BFS radius for -crawl")
+		rateLimit     = flag.Float64("rate-limit", 50, "per-client requests/second (0 disables rate limiting)")
+		rateBurst     = flag.Int("rate-burst", 100, "per-client token-bucket burst")
+		readTimeout   = flag.Duration("read-timeout", 15*time.Second, "HTTP server read timeout")
+		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+		idleTimeout   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle-connection timeout")
+		quiet         = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
 
@@ -90,10 +102,17 @@ func main() {
 		}()
 	}
 
+	apiOpts := []api.Option{api.WithRateLimit(*rateLimit, *rateBurst)}
+	if !*quiet {
+		apiOpts = append(apiOpts, api.WithLogger(log.New(os.Stderr, "http: ", 0)))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewEngine(engine),
+		Handler:           api.NewEngine(engine, apiOpts...),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 	drained := make(chan struct{})
 	go func() {
@@ -107,7 +126,7 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("listening on %s\n", *addr)
+	fmt.Printf("listening on %s (discovery: GET /api/v1)\n", *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -1,518 +1,226 @@
-// Package api exposes the MASS User Interface Module as an HTTP/JSON
-// service: the ranking, recommendation and visualization operations the
-// demo's GUI offered, as endpoints a web front end (or curl) can call.
+// Package api exposes the MASS User Interface Module as a versioned
+// HTTP/JSON service: the ranking, recommendation and visualization
+// operations the demo's GUI offered, as a designed /api/v1 contract a web
+// front end (or curl) can rely on.
 //
-// Endpoints:
+// # The v1 contract
 //
-//	GET /api/stats                         corpus summary
-//	GET /api/top?k=3                       general top-k
-//	GET /api/domains                       available domains
-//	GET /api/domain/{name}?k=3             domain top-k
-//	GET /api/blogger/{id}                  one blogger's influence detail (the pop-up window)
-//	POST /api/advert {"text":...,"k":3}    Scenario 1, text mode
-//	POST /api/advert {"domains":[...]}     Scenario 1, dropdown mode
-//	POST /api/profile {"text":...,"k":3}   Scenario 2, new-user profile
-//	GET /api/network/{id}?radius=2         Fig. 4 network as JSON
-//	GET /api/network/{id}.svg?radius=2     Fig. 4 network as SVG
-//	GET /api/trends?buckets=8&emerging=5   domain trends + emerging bloggers
+// Every v1 JSON response is the uniform envelope
 //
-// When the server is built over a live Engine (NewEngine), reads are served
-// from the engine's current snapshot and three ingestion endpoints accept
-// new data — each takes a single object or a JSON array of them:
+//	{"data": ..., "meta": {"seq": N, "page": {...}}, "error": null}
 //
-//	POST /api/posts     {"id":...,"author":...,"title":...,"body":...,"tags":[...]}
-//	POST /api/comments  {"post":...,"commenter":...,"text":...}
-//	POST /api/links     {"from":...,"to":...}
-//	GET  /api/engine    ingestion/re-analysis status
+// where meta.seq is the analysis snapshot generation that answered the
+// read, meta.page carries limit/offset/total/count on list endpoints, and
+// errors replace data with a machine-readable {code, message} object (see
+// the ErrCode constants). Each request is answered from exactly one
+// snapshot, the seq doubles as a strong ETag, and a conditional GET with
+// If-None-Match returns 304 until the next re-analysis publishes a new
+// generation.
 //
-// Ingested data becomes visible to reads after the engine's next debounced
-// re-analysis (see /api/engine for the pending count).
+//	GET  /api/v1                          discovery document (routes, limits)
+//	GET  /api/v1/openapi.json             OpenAPI 3.0 spec, generated from the route table
+//	GET  /api/v1/stats                    corpus summary
+//	GET  /api/v1/bloggers/top             general ranking      ?limit=10&offset=0
+//	GET  /api/v1/bloggers/{id}            one blogger's influence detail
+//	GET  /api/v1/bloggers/{id}/network    Fig. 4 network as JSON   ?radius=2
+//	GET  /api/v1/bloggers/{id}/network.svg  ... as SVG
+//	GET  /api/v1/domains                  interest domains     ?limit&offset
+//	GET  /api/v1/domains/{name}/top       per-domain ranking   ?limit&offset
+//	POST /api/v1/advert                   Scenario 1 {"text":...} or {"domains":[...]}
+//	POST /api/v1/profile                  Scenario 2 {"text":...}
+//	GET  /api/v1/trends                   trend report         ?buckets=8&emerging=5
+//	GET  /api/v1/engine                   ingestion/re-analysis status
+//	POST /api/v1/posts|comments|links     ingestion (object or JSON array)
+//
+// All routes run behind a middleware chain: request IDs (X-Request-Id),
+// structured request logging, panic recovery, and optional per-client
+// token-bucket rate limiting (429 + Retry-After).
+//
+// The pre-v1 routes (/api/stats, /api/top?k=, /api/domain/{name}, ...)
+// remain as deprecated aliases with their original bare response shapes;
+// new clients should use v1.
 package api
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"io"
+	"log"
 	"net/http"
-	"sort"
-	"strconv"
 	"strings"
-	"time"
 
-	"mass/internal/blog"
 	"mass/internal/core"
-	"mass/internal/lexicon"
-	"mass/internal/trend"
 )
 
-// Server wraps an analyzed System — static, or the live snapshots of an
-// Engine — as an http.Handler.
-type Server struct {
-	current func() *core.System
-	engine  *core.Engine // nil in static (read-only) mode
-	mux     *http.ServeMux
+// Option configures optional Server behavior.
+type Option func(*options)
+
+type options struct {
+	logger    *log.Logger
+	rateRPS   float64
+	rateBurst int
 }
 
-// New builds the API server over a single analyzed system. The ingestion
-// endpoints respond 503: this is the frozen-corpus compatibility mode.
-func New(sys *core.System) *Server {
-	return newServer(func() *core.System { return sys }, nil)
+// WithLogger enables structured per-request logging and panic reporting on
+// l. Without it the middleware chain stays silent.
+func WithLogger(l *log.Logger) Option {
+	return func(o *options) { o.logger = l }
+}
+
+// WithRateLimit enables per-client (per-IP) token-bucket rate limiting:
+// each client gets burst tokens refilled at rps per second; an empty
+// bucket answers 429 rate_limited with a Retry-After hint. rps <= 0
+// leaves limiting disabled.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(o *options) { o.rateRPS = rps; o.rateBurst = burst }
+}
+
+// Server wraps an analyzed snapshot source — static, or the live
+// generations of an Engine — as an http.Handler.
+type Server struct {
+	current func() *core.Snapshot
+	engine  *core.Engine // nil in static (read-only) mode
+	opts    options
+
+	mux     *http.ServeMux
+	handler http.Handler // middleware chain around dispatch
+	routes  []route
+	trends  trendCache
+	limiter *rateLimiter
+}
+
+// New builds the API server over a single analyzed system, served as a
+// frozen generation-1 snapshot. The ingestion endpoints respond 503: this
+// is the read-only compatibility mode.
+func New(sys *core.System, opts ...Option) *Server {
+	snap := core.StaticSnapshot(sys)
+	return newServer(func() *core.Snapshot { return snap }, nil, opts)
 }
 
 // NewEngine builds the API server over a live ingestion engine: reads hit
 // the engine's current snapshot and the ingestion endpoints mutate it.
-func NewEngine(e *core.Engine) *Server {
-	return newServer(func() *core.System { return e.Current().System }, e)
+func NewEngine(e *core.Engine, opts ...Option) *Server {
+	return newServer(e.Current, e, opts)
 }
 
-func newServer(current func() *core.System, e *core.Engine) *Server {
+func newServer(current func() *core.Snapshot, e *core.Engine, optFns []Option) *Server {
 	s := &Server{current: current, engine: e, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/api/stats", s.handleStats)
-	s.mux.HandleFunc("/api/top", s.handleTop)
-	s.mux.HandleFunc("/api/domains", s.handleDomains)
-	s.mux.HandleFunc("/api/domain/", s.handleDomain)
-	s.mux.HandleFunc("/api/blogger/", s.handleBlogger)
-	s.mux.HandleFunc("/api/advert", s.handleAdvert)
-	s.mux.HandleFunc("/api/profile", s.handleProfile)
-	s.mux.HandleFunc("/api/network/", s.handleNetwork)
-	s.mux.HandleFunc("/api/trends", s.handleTrends)
-	s.mux.HandleFunc("/api/posts", s.handlePosts)
-	s.mux.HandleFunc("/api/comments", s.handleComments)
-	s.mux.HandleFunc("/api/links", s.handleLinks)
-	s.mux.HandleFunc("/api/engine", s.handleEngine)
+	for _, fn := range optFns {
+		fn(&s.opts)
+	}
+	s.limiter = newRateLimiter(s.opts.rateRPS, s.opts.rateBurst)
+	s.routes = s.routeTable()
+	s.register()
+	s.handler = s.withMiddleware(http.HandlerFunc(s.dispatch))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
-// scored is a generic scored-blogger JSON row.
-type scored struct {
-	Blogger blog.BloggerID `json:"blogger"`
-	Score   float64        `json:"score"`
-}
+// ---------------------------------------------------------- v1 wrappers
+//
+// Handlers never touch the ResponseWriter: they take the one snapshot the
+// whole request is answered from and return (data, meta, error); the
+// wrappers own snapshot pinning, conditional-GET handling and envelope
+// encoding. That is what makes every v1 read snapshot-consistent — the
+// engine can swap generations mid-request without a reader ever seeing
+// two of them.
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	writeJSON(w, s.current().Stats())
-}
+// readHandler answers from one pinned snapshot.
+type readHandler func(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError)
 
-func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	k := intParam(r, "k", 3)
-	// Served from the snapshot's precomputed general ranking — no score
-	// maps are rebuilt per request. The allocation is sized by the entries
-	// actually returned, never by the raw (client-controlled) k.
-	entries := s.current().Result().TopGeneral(k)
-	out := make([]scored, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, scored{Blogger: blog.BloggerID(e.ID), Score: e.Score})
-	}
-	writeJSON(w, out)
-}
-
-func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	writeJSON(w, lexicon.Domains())
-}
-
-func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	domain := strings.TrimPrefix(r.URL.Path, "/api/domain/")
-	if domain == "" {
-		http.Error(w, "missing domain", http.StatusBadRequest)
-		return
-	}
-	k := intParam(r, "k", 3)
-	// Served from the snapshot's precomputed per-domain ranking.
-	entries := s.current().Result().TopDomain(domain, k)
-	out := make([]scored, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, scored{Blogger: blog.BloggerID(e.ID), Score: e.Score})
-	}
-	writeJSON(w, out)
-}
-
-// bloggerDetail is the demo's pop-up window: total influence, domain
-// scores, post count and top posts.
-type bloggerDetail struct {
-	ID           blog.BloggerID     `json:"id"`
-	Name         string             `json:"name"`
-	Influence    float64            `json:"influence"`
-	AP           float64            `json:"ap"`
-	GL           float64            `json:"gl"`
-	DomainScores map[string]float64 `json:"domainScores"`
-	Posts        int                `json:"posts"`
-	TopPosts     []topPost          `json:"topPosts"`
-}
-
-type topPost struct {
-	ID    blog.PostID `json:"id"`
-	Title string      `json:"title"`
-	Score float64     `json:"score"`
-}
-
-func (s *Server) handleBlogger(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	id := blog.BloggerID(strings.TrimPrefix(r.URL.Path, "/api/blogger/"))
-	sys := s.current()
-	c := sys.Corpus()
-	b, ok := c.Bloggers[id]
-	if !ok {
-		http.Error(w, fmt.Sprintf("unknown blogger %q", id), http.StatusNotFound)
-		return
-	}
-	res := sys.Result()
-	detail := bloggerDetail{
-		ID:           id,
-		Name:         b.Name,
-		Influence:    res.BloggerScores[id],
-		AP:           res.AP[id],
-		GL:           res.GL[id],
-		DomainScores: res.DomainVector(id),
-		Posts:        len(c.PostsBy(id)),
-	}
-	posts := append([]blog.PostID(nil), c.PostsBy(id)...)
-	sort.Slice(posts, func(i, j int) bool {
-		si, sj := res.PostScores[posts[i]], res.PostScores[posts[j]]
-		if si != sj {
-			return si > sj
+// v1Read wraps a snapshot read: pin the current snapshot and on GET/HEAD
+// serve the seq as a strong ETag. A matching If-None-Match short-circuits
+// with 304 before the handler runs at all — the snapshot fully determines
+// the response for a URL, so a client that holds this generation's
+// validator costs the server nothing.
+func (s *Server) v1Read(h readHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := s.current()
+		if conditionalGET(w, r, snap) {
+			return
 		}
-		return posts[i] < posts[j]
-	})
-	if len(posts) > 3 {
-		posts = posts[:3]
-	}
-	for _, pid := range posts {
-		detail.TopPosts = append(detail.TopPosts, topPost{
-			ID: pid, Title: c.Posts[pid].Title, Score: res.PostScores[pid],
-		})
-	}
-	writeJSON(w, detail)
-}
-
-// advertRequest is the Scenario 1 payload: text or explicit domains.
-type advertRequest struct {
-	Text    string   `json:"text"`
-	Domains []string `json:"domains"`
-	K       int      `json:"k"`
-}
-
-func (s *Server) handleAdvert(w http.ResponseWriter, r *http.Request) {
-	var req advertRequest
-	if !decodePost(w, r, &req) {
-		return
-	}
-	if req.K <= 0 {
-		req.K = 3
-	}
-	if req.Text == "" && len(req.Domains) == 0 {
-		http.Error(w, "provide text or domains", http.StatusBadRequest)
-		return
-	}
-	sys := s.current()
-	var out []scored
-	if req.Text != "" {
-		for _, rec := range sys.AdvertiseText(req.Text, req.K) {
-			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+		data, meta, aerr := h(snap, r)
+		if aerr != nil {
+			writeAPIError(w, aerr)
+			return
 		}
-	} else {
-		for _, rec := range sys.AdvertiseDomains(req.Domains, req.K) {
-			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+		if meta == nil {
+			meta = &Meta{}
 		}
+		meta.Seq = snap.Seq
+		writeEnvelope(w, http.StatusOK, Envelope{Data: data, Meta: meta})
 	}
-	writeJSON(w, out)
 }
 
-// profileRequest is the Scenario 2 payload.
-type profileRequest struct {
-	Text string `json:"text"`
-	K    int    `json:"k"`
-}
+// rawHandler produces a non-JSON body (SVG); it returns the bytes and
+// content type so the wrapper can still commit the status exactly once.
+type rawHandler func(snap *core.Snapshot, r *http.Request) (body []byte, contentType string, aerr *apiError)
 
-func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	var req profileRequest
-	if !decodePost(w, r, &req) {
-		return
-	}
-	if req.K <= 0 {
-		req.K = 3
-	}
-	if req.Text == "" {
-		http.Error(w, "provide profile text", http.StatusBadRequest)
-		return
-	}
-	var out []scored
-	for _, rec := range s.current().RecommendForProfile(req.Text, req.K) {
-		out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
-	}
-	writeJSON(w, out)
-}
-
-func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	rest := strings.TrimPrefix(r.URL.Path, "/api/network/")
-	svg := strings.HasSuffix(rest, ".svg")
-	id := blog.BloggerID(strings.TrimSuffix(rest, ".svg"))
-	radius := intParam(r, "radius", 2)
-	net, err := s.current().Network(id, radius, 1)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
-		return
-	}
-	if svg {
-		w.Header().Set("Content-Type", "image/svg+xml")
-		if err := net.WriteSVG(w, 1000, 800); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+// v1ReadRaw is v1Read for non-envelope responses.
+func (s *Server) v1ReadRaw(h rawHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap := s.current()
+		if conditionalGET(w, r, snap) {
+			return
 		}
-		return
-	}
-	writeJSON(w, net)
-}
-
-func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	buckets := intParam(r, "buckets", 8)
-	sys := s.current()
-	rep, err := trend.Analyze(sys.Corpus(), sys.Result(), trend.Config{
-		Buckets:     buckets,
-		TopEmerging: intParam(r, "emerging", 5),
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	writeJSON(w, rep)
-}
-
-// ----------------------------------------------------------- ingestion
-
-// postRequest is one new post (POST /api/posts).
-type postRequest struct {
-	ID     blog.PostID    `json:"id"`
-	Author blog.BloggerID `json:"author"`
-	Title  string         `json:"title"`
-	Body   string         `json:"body"`
-	Posted time.Time      `json:"posted"`
-	Tags   []string       `json:"tags"`
-}
-
-// commentRequest is one new comment (POST /api/comments).
-type commentRequest struct {
-	Post      blog.PostID    `json:"post"`
-	Commenter blog.BloggerID `json:"commenter"`
-	Text      string         `json:"text"`
-	Posted    time.Time      `json:"posted"`
-}
-
-// linkRequest is one new hyperlink (POST /api/links).
-type linkRequest struct {
-	From blog.BloggerID `json:"from"`
-	To   blog.BloggerID `json:"to"`
-}
-
-// ingestResponse acknowledges accepted mutations. Accepted data becomes
-// visible to reads after the next re-analysis; Seq identifies the snapshot
-// the caller was served from.
-type ingestResponse struct {
-	Accepted int    `json:"accepted"`
-	Pending  int    `json:"pending"`
-	Seq      uint64 `json:"seq"`
-}
-
-// maxBodyBytes caps ingestion request bodies; a runaway client must not be
-// able to buffer gigabytes into server memory.
-const maxBodyBytes = 8 << 20
-
-// decodeOneOrMany decodes the request body into *T or []T depending on the
-// leading token, returning the slice either way.
-func decodeOneOrMany[T any](w http.ResponseWriter, r *http.Request) ([]T, bool) {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w)
-		return nil, false
-	}
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return nil, false
-	}
-	trimmed := bytes.TrimLeft(data, " \t\r\n")
-	if len(trimmed) > 0 && trimmed[0] == '[' {
-		var many []T
-		if err := json.Unmarshal(data, &many); err != nil {
-			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-			return nil, false
+		body, contentType, aerr := h(snap, r)
+		if aerr != nil {
+			writeAPIError(w, aerr)
+			return
 		}
-		return many, true
+		w.Header().Set("Content-Type", contentType)
+		w.Write(body)
 	}
-	var one T
-	if err := json.Unmarshal(data, &one); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-		return nil, false
-	}
-	return []T{one}, true
 }
 
-// requireEngine rejects mutations in static mode.
-func (s *Server) requireEngine(w http.ResponseWriter) bool {
-	if s.engine == nil {
-		http.Error(w, "read-only: server built without an ingestion engine", http.StatusServiceUnavailable)
+// statusHandler serves volatile state (engine status, discovery); it
+// reports the seq it answered from itself, so meta cannot disagree with
+// the payload when a flush lands mid-request, and its responses are never
+// cacheable.
+type statusHandler func(r *http.Request) (any, uint64, *apiError)
+
+func (s *Server) v1NoSnapshot(h statusHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		data, seq, aerr := h(r)
+		if aerr != nil {
+			writeAPIError(w, aerr)
+			return
+		}
+		w.Header().Set("Cache-Control", "no-store")
+		writeEnvelope(w, http.StatusOK, Envelope{Data: data, Meta: &Meta{Seq: seq}})
+	}
+}
+
+// conditionalGET applies the snapshot's ETag to a GET/HEAD response: it
+// always advertises the validator, and reports true after writing 304 when
+// the client already holds this generation.
+func conditionalGET(w http.ResponseWriter, r *http.Request, snap *core.Snapshot) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		return false
 	}
+	etag := snap.ETag()
+	w.Header().Set("ETag", etag)
+	if !etagMatch(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	w.WriteHeader(http.StatusNotModified)
 	return true
 }
 
-func (s *Server) ackIngest(w http.ResponseWriter, accepted int) {
-	st := s.engine.Status()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(ingestResponse{Accepted: accepted, Pending: st.Pending, Seq: st.Seq})
-}
-
-func (s *Server) handlePosts(w http.ResponseWriter, r *http.Request) {
-	if !s.requireEngine(w) {
-		return
-	}
-	reqs, ok := decodeOneOrMany[postRequest](w, r)
-	if !ok {
-		return
-	}
-	batch := core.Batch{}
-	for _, pr := range reqs {
-		batch.Posts = append(batch.Posts, &blog.Post{
-			ID: pr.ID, Author: pr.Author, Title: pr.Title,
-			Body: pr.Body, Posted: pr.Posted, Tags: pr.Tags,
-		})
-	}
-	if err := s.engine.AddBatch(batch); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.ackIngest(w, len(reqs))
-}
-
-func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
-	if !s.requireEngine(w) {
-		return
-	}
-	reqs, ok := decodeOneOrMany[commentRequest](w, r)
-	if !ok {
-		return
-	}
-	batch := core.Batch{}
-	for _, cr := range reqs {
-		batch.Comments = append(batch.Comments, core.BatchComment{
-			Post: cr.Post,
-			Comment: blog.Comment{
-				Commenter: cr.Commenter, Text: cr.Text, Posted: cr.Posted,
-			},
-		})
-	}
-	if err := s.engine.AddBatch(batch); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.ackIngest(w, len(reqs))
-}
-
-func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
-	if !s.requireEngine(w) {
-		return
-	}
-	reqs, ok := decodeOneOrMany[linkRequest](w, r)
-	if !ok {
-		return
-	}
-	batch := core.Batch{}
-	for _, lr := range reqs {
-		batch.Links = append(batch.Links, blog.Link{From: lr.From, To: lr.To})
-	}
-	if err := s.engine.AddBatch(batch); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.ackIngest(w, len(reqs))
-}
-
-// engineResponse is the /api/engine payload. Live is false in static mode;
-// the corpus counts are real either way, the ingestion counters (seq,
-// pending, totalMutations, …) are meaningful only when live.
-type engineResponse struct {
-	Live bool `json:"live"`
-	core.EngineStatus
-}
-
-func (s *Server) handleEngine(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		methodNotAllowed(w)
-		return
-	}
-	if s.engine == nil {
-		c := s.current().Corpus()
-		writeJSON(w, engineResponse{Live: false, EngineStatus: core.EngineStatus{
-			Bloggers: len(c.Bloggers),
-			Posts:    len(c.Posts),
-			Links:    len(c.Links),
-		}})
-		return
-	}
-	writeJSON(w, engineResponse{Live: true, EngineStatus: s.engine.Status()})
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func decodePost(w http.ResponseWriter, r *http.Request, v interface{}) bool {
-	if r.Method != http.MethodPost {
-		methodNotAllowed(w)
+// etagMatch implements the weak-comparison subset of If-None-Match we
+// need: a comma-separated list of tags, "*" matching anything, W/ prefixes
+// ignored.
+func etagMatch(header, etag string) bool {
+	if header == "" {
 		return false
 	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
-		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
-		return false
-	}
-	return true
-}
-
-func methodNotAllowed(w http.ResponseWriter) {
-	http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-}
-
-func intParam(r *http.Request, name string, def int) int {
-	if v := r.URL.Query().Get(name); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == etag {
+			return true
 		}
 	}
-	return def
+	return false
 }

@@ -236,10 +236,3 @@ func TestBadJSON(t *testing.T) {
 		t.Fatalf("bad JSON status = %d", resp.StatusCode)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,195 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/core"
+)
+
+// postRequest is one new post (POST /api/v1/posts).
+type postRequest struct {
+	ID     blog.PostID    `json:"id"`
+	Author blog.BloggerID `json:"author"`
+	Title  string         `json:"title"`
+	Body   string         `json:"body"`
+	Posted time.Time      `json:"posted"`
+	Tags   []string       `json:"tags"`
+}
+
+// commentRequest is one new comment (POST /api/v1/comments).
+type commentRequest struct {
+	Post      blog.PostID    `json:"post"`
+	Commenter blog.BloggerID `json:"commenter"`
+	Text      string         `json:"text"`
+	Posted    time.Time      `json:"posted"`
+}
+
+// linkRequest is one new hyperlink (POST /api/v1/links).
+type linkRequest struct {
+	From blog.BloggerID `json:"from"`
+	To   blog.BloggerID `json:"to"`
+}
+
+// ingestResponse acknowledges accepted mutations. Accepted data becomes
+// visible to reads after the next re-analysis; Seq identifies the current
+// snapshot generation at acknowledgment time.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Pending  int    `json:"pending"`
+	Seq      uint64 `json:"seq"`
+}
+
+// maxBodyBytes caps request bodies; a runaway client must not be able to
+// buffer gigabytes into server memory.
+const maxBodyBytes = 8 << 20
+
+// readBody drains a size-capped request body.
+func readBody(r *http.Request) ([]byte, *apiError) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, errf(http.StatusRequestEntityTooLarge, ErrCodePayloadTooLarge,
+				"request body exceeds %d bytes", maxBodyBytes)
+		}
+		return nil, errf(http.StatusBadRequest, ErrCodeBadJSON, "reading body: %v", err)
+	}
+	return data, nil
+}
+
+// decodeOneOrMany decodes the request body into *T or []T depending on the
+// leading token, returning the slice either way.
+func decodeOneOrMany[T any](r *http.Request) ([]T, *apiError) {
+	data, aerr := readBody(r)
+	if aerr != nil {
+		return nil, aerr
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var many []T
+		if err := json.Unmarshal(data, &many); err != nil {
+			return nil, errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
+		}
+		return many, nil
+	}
+	var one T
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
+	}
+	return []T{one}, nil
+}
+
+// decodeFunc turns a request body into an engine batch; one per ingestion
+// endpoint, shared by the v1 and legacy handlers.
+type decodeFunc func(r *http.Request) (core.Batch, int, *apiError)
+
+func decodePosts(r *http.Request) (core.Batch, int, *apiError) {
+	reqs, aerr := decodeOneOrMany[postRequest](r)
+	if aerr != nil {
+		return core.Batch{}, 0, aerr
+	}
+	batch := core.Batch{}
+	for _, pr := range reqs {
+		batch.Posts = append(batch.Posts, &blog.Post{
+			ID: pr.ID, Author: pr.Author, Title: pr.Title,
+			Body: pr.Body, Posted: pr.Posted, Tags: pr.Tags,
+		})
+	}
+	return batch, len(reqs), nil
+}
+
+func decodeComments(r *http.Request) (core.Batch, int, *apiError) {
+	reqs, aerr := decodeOneOrMany[commentRequest](r)
+	if aerr != nil {
+		return core.Batch{}, 0, aerr
+	}
+	batch := core.Batch{}
+	for _, cr := range reqs {
+		batch.Comments = append(batch.Comments, core.BatchComment{
+			Post: cr.Post,
+			Comment: blog.Comment{
+				Commenter: cr.Commenter, Text: cr.Text, Posted: cr.Posted,
+			},
+		})
+	}
+	return batch, len(reqs), nil
+}
+
+func decodeLinks(r *http.Request) (core.Batch, int, *apiError) {
+	reqs, aerr := decodeOneOrMany[linkRequest](r)
+	if aerr != nil {
+		return core.Batch{}, 0, aerr
+	}
+	batch := core.Batch{}
+	for _, lr := range reqs {
+		batch.Links = append(batch.Links, blog.Link{From: lr.From, To: lr.To})
+	}
+	return batch, len(reqs), nil
+}
+
+// ingest runs the shared mutation path: require a live engine, decode,
+// apply atomically, and report the acknowledgment.
+func (s *Server) ingest(dec decodeFunc, r *http.Request) (ingestResponse, *apiError) {
+	if s.engine == nil {
+		return ingestResponse{}, errf(http.StatusServiceUnavailable, ErrCodeReadOnly,
+			"read-only: server built without an ingestion engine")
+	}
+	batch, accepted, aerr := dec(r)
+	if aerr != nil {
+		return ingestResponse{}, aerr
+	}
+	if err := s.engine.AddBatch(batch); err != nil {
+		return ingestResponse{}, errf(http.StatusBadRequest, ErrCodeValidation, "%v", err)
+	}
+	st := s.engine.Status()
+	return ingestResponse{Accepted: accepted, Pending: st.Pending, Seq: st.Seq}, nil
+}
+
+// v1Ingest wraps an ingestion endpoint in the v1 envelope: 202 Accepted
+// with the acknowledgment as data and the current seq in meta.
+func (s *Server) v1Ingest(dec decodeFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ack, aerr := s.ingest(dec, r)
+		if aerr != nil {
+			writeAPIError(w, aerr)
+			return
+		}
+		writeEnvelope(w, http.StatusAccepted, Envelope{Data: ack, Meta: &Meta{Seq: ack.Seq}})
+	}
+}
+
+// legacyIngest preserves the pre-v1 acknowledgment: a bare 202 JSON body
+// and plain-text errors.
+func (s *Server) legacyIngest(dec decodeFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ack, aerr := s.ingest(dec, r)
+		if aerr != nil {
+			http.Error(w, aerr.Message, aerr.status)
+			return
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(ack); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write(buf.Bytes())
+	}
+}
+
+// decodeLegacyBody is the pre-v1 single-object body decoder: bounded, with
+// the original plain-text "bad JSON" error.
+func decodeLegacyBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,497 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+
+	"mass/internal/blog"
+	"mass/internal/core"
+	"mass/internal/lexicon"
+	"mass/internal/rank"
+	"mass/internal/trend"
+)
+
+// scored is a generic scored-blogger JSON row.
+type scored struct {
+	Blogger blog.BloggerID `json:"blogger"`
+	Score   float64        `json:"score"`
+}
+
+// bloggerDetail is the demo's pop-up window: total influence, domain
+// scores, post count and top posts.
+type bloggerDetail struct {
+	ID           blog.BloggerID     `json:"id"`
+	Name         string             `json:"name"`
+	Influence    float64            `json:"influence"`
+	AP           float64            `json:"ap"`
+	GL           float64            `json:"gl"`
+	DomainScores map[string]float64 `json:"domainScores"`
+	Posts        int                `json:"posts"`
+	TopPosts     []topPost          `json:"topPosts"`
+}
+
+type topPost struct {
+	ID    blog.PostID `json:"id"`
+	Title string      `json:"title"`
+	Score float64     `json:"score"`
+}
+
+// ------------------------------------------------------- shared fetchers
+//
+// One fetch function per resource, shared verbatim by the v1 handlers and
+// the deprecated aliases, so the two surfaces cannot drift: the legacy
+// response body is exactly the v1 envelope's data field.
+
+// entriesPage windows a precomputed ranking: the ranking is materialized
+// to offset+limit entries, then sliced.
+func entriesPage(entries []rank.Entry, offset int) []scored {
+	if offset >= len(entries) {
+		return []scored{}
+	}
+	entries = entries[offset:]
+	out := make([]scored, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, scored{Blogger: blog.BloggerID(e.ID), Score: e.Score})
+	}
+	return out
+}
+
+func fetchTop(snap *core.Snapshot, limit, offset int) ([]scored, *Page) {
+	res := snap.Result()
+	out := entriesPage(res.TopGeneral(offset+limit), offset)
+	return out, &Page{Limit: limit, Offset: offset, Total: len(res.BloggerScores), Count: len(out)}
+}
+
+func fetchDomainTop(snap *core.Snapshot, domain string, limit, offset int) ([]scored, *Page) {
+	res := snap.Result()
+	out := entriesPage(res.TopDomain(domain, offset+limit), offset)
+	return out, &Page{Limit: limit, Offset: offset, Total: len(res.BloggerScores), Count: len(out)}
+}
+
+func fetchBlogger(snap *core.Snapshot, id blog.BloggerID) (bloggerDetail, *apiError) {
+	c := snap.Corpus()
+	b, ok := c.Bloggers[id]
+	if !ok {
+		return bloggerDetail{}, errf(http.StatusNotFound, ErrCodeNotFound, "unknown blogger %q", id)
+	}
+	res := snap.Result()
+	detail := bloggerDetail{
+		ID:           id,
+		Name:         b.Name,
+		Influence:    res.BloggerScores[id],
+		AP:           res.AP[id],
+		GL:           res.GL[id],
+		DomainScores: res.DomainVector(id),
+		Posts:        len(c.PostsBy(id)),
+	}
+	posts := append([]blog.PostID(nil), c.PostsBy(id)...)
+	sort.Slice(posts, func(i, j int) bool {
+		si, sj := res.PostScores[posts[i]], res.PostScores[posts[j]]
+		if si != sj {
+			return si > sj
+		}
+		return posts[i] < posts[j]
+	})
+	if len(posts) > 3 {
+		posts = posts[:3]
+	}
+	for _, pid := range posts {
+		detail.TopPosts = append(detail.TopPosts, topPost{
+			ID: pid, Title: c.Posts[pid].Title, Score: res.PostScores[pid],
+		})
+	}
+	return detail, nil
+}
+
+// advertRequest is the Scenario 1 payload: text or explicit domains.
+type advertRequest struct {
+	Text    string   `json:"text"`
+	Domains []string `json:"domains"`
+	K       int      `json:"k"`
+}
+
+func fetchAdvert(snap *core.Snapshot, req advertRequest) []scored {
+	out := []scored{}
+	if req.Text != "" {
+		for _, rec := range snap.AdvertiseText(req.Text, req.K) {
+			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+		}
+		return out
+	}
+	for _, rec := range snap.AdvertiseDomains(req.Domains, req.K) {
+		out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+	}
+	return out
+}
+
+// profileRequest is the Scenario 2 payload.
+type profileRequest struct {
+	Text string `json:"text"`
+	K    int    `json:"k"`
+}
+
+func fetchProfile(snap *core.Snapshot, req profileRequest) []scored {
+	out := []scored{}
+	for _, rec := range snap.RecommendForProfile(req.Text, req.K) {
+		out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+	}
+	return out
+}
+
+// snapshotDomains is the domain list the snapshot can actually rank:
+// the interned analysis domains, or the full lexicon when the analysis ran
+// without a classifier.
+func snapshotDomains(snap *core.Snapshot) []string {
+	if d := snap.Result().Domains(); len(d) > 0 {
+		return d
+	}
+	return lexicon.Domains()
+}
+
+// -------------------------------------------------------- trends, memoized
+
+// trendKey identifies one memoizable trend computation. The snapshot seq
+// is part of the key, so a cached report lives exactly until the next
+// re-analysis.
+type trendKey struct {
+	seq      uint64
+	buckets  int
+	emerging int
+}
+
+// trendCache memoizes trend.Analyze per (seq, buckets, emerging):
+// repeated dashboard polls are a map lookup until the engine publishes a
+// new generation, at which point the stale generation's entries are
+// evicted.
+type trendCache struct {
+	mu       sync.Mutex
+	entries  map[trendKey]*trend.Report
+	computes int64 // total cache misses, for tests/metrics
+}
+
+func (c *trendCache) get(key trendKey, compute func() (*trend.Report, error)) (*trend.Report, error) {
+	c.mu.Lock()
+	if rep, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return rep, nil
+	}
+	c.computes++
+	c.mu.Unlock()
+	// Analyze outside the lock: a slow computation must not block cached
+	// polls of other keys. Concurrent first requests may duplicate work
+	// once; both land the same deterministic report.
+	rep, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[trendKey]*trend.Report)
+	}
+	for k := range c.entries {
+		if k.seq != key.seq {
+			delete(c.entries, k)
+		}
+	}
+	c.entries[key] = rep
+	c.mu.Unlock()
+	return rep, nil
+}
+
+func (c *trendCache) computeCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.computes
+}
+
+// trendReport serves the memoized trend analysis for one snapshot.
+func (s *Server) trendReport(snap *core.Snapshot, buckets, emerging int) (*trend.Report, error) {
+	return s.trends.get(trendKey{seq: snap.Seq, buckets: buckets, emerging: emerging}, func() (*trend.Report, error) {
+		return trend.Analyze(snap.Corpus(), snap.Result(), trend.Config{
+			Buckets:     buckets,
+			TopEmerging: emerging,
+		})
+	})
+}
+
+// ------------------------------------------------------------ v1 handlers
+
+func (s *Server) handleV1Stats(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	return snap.Stats(), nil, nil
+}
+
+func (s *Server) handleV1TopBloggers(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	limit, offset, aerr := pageParams(r)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	out, page := fetchTop(snap, limit, offset)
+	return out, &Meta{Page: page}, nil
+}
+
+func (s *Server) handleV1Blogger(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	detail, aerr := fetchBlogger(snap, blog.BloggerID(r.PathValue("id")))
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	return detail, nil, nil
+}
+
+func (s *Server) handleV1Domains(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	limit, offset, aerr := pageParams(r)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	all := snapshotDomains(snap)
+	window := []string{}
+	if offset < len(all) {
+		window = all[offset:min(offset+limit, len(all))]
+	}
+	return window, &Meta{Page: &Page{Limit: limit, Offset: offset, Total: len(all), Count: len(window)}}, nil
+}
+
+func (s *Server) handleV1DomainTop(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	name := r.PathValue("name")
+	if !slices.Contains(snapshotDomains(snap), name) {
+		return nil, nil, errf(http.StatusNotFound, ErrCodeNotFound, "unknown domain %q", name)
+	}
+	limit, offset, aerr := pageParams(r)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	out, page := fetchDomainTop(snap, name, limit, offset)
+	return out, &Meta{Page: page}, nil
+}
+
+func (s *Server) handleV1Network(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	radius, aerr := queryInt(r, "radius", DefaultRadius, 1, MaxRadius)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	net, err := snap.Network(blog.BloggerID(r.PathValue("id")), radius, 1)
+	if err != nil {
+		return nil, nil, errf(http.StatusNotFound, ErrCodeNotFound, "%v", err)
+	}
+	return net, nil, nil
+}
+
+func (s *Server) handleV1NetworkSVG(snap *core.Snapshot, r *http.Request) ([]byte, string, *apiError) {
+	radius, aerr := queryInt(r, "radius", DefaultRadius, 1, MaxRadius)
+	if aerr != nil {
+		return nil, "", aerr
+	}
+	net, err := snap.Network(blog.BloggerID(r.PathValue("id")), radius, 1)
+	if err != nil {
+		return nil, "", errf(http.StatusNotFound, ErrCodeNotFound, "%v", err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteSVG(&buf, 1000, 800); err != nil {
+		return nil, "", errf(http.StatusInternalServerError, ErrCodeInternal, "rendering SVG: %v", err)
+	}
+	return buf.Bytes(), "image/svg+xml", nil
+}
+
+// v1Body bounds and decodes a single-object JSON body.
+func v1Body[T any](r *http.Request, v *T) *apiError {
+	data, aerr := readBody(r)
+	if aerr != nil {
+		return aerr
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleV1Advert(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	var req advertRequest
+	if aerr := v1Body(r, &req); aerr != nil {
+		return nil, nil, aerr
+	}
+	if req.Text == "" && len(req.Domains) == 0 {
+		return nil, nil, errParam("text", "provide text or domains")
+	}
+	if req.K <= 0 {
+		req.K = DefaultLimit
+	}
+	if req.K > MaxLimit {
+		req.K = MaxLimit
+	}
+	out := fetchAdvert(snap, req)
+	return out, &Meta{Page: &Page{Limit: req.K, Total: len(snap.Result().BloggerScores), Count: len(out)}}, nil
+}
+
+func (s *Server) handleV1Profile(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	var req profileRequest
+	if aerr := v1Body(r, &req); aerr != nil {
+		return nil, nil, aerr
+	}
+	if req.Text == "" {
+		return nil, nil, errParam("text", "provide profile text")
+	}
+	if req.K <= 0 {
+		req.K = DefaultLimit
+	}
+	if req.K > MaxLimit {
+		req.K = MaxLimit
+	}
+	out := fetchProfile(snap, req)
+	return out, &Meta{Page: &Page{Limit: req.K, Total: len(snap.Result().BloggerScores), Count: len(out)}}, nil
+}
+
+func (s *Server) handleV1Trends(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
+	buckets, aerr := queryInt(r, "buckets", DefaultBuckets, MinBuckets, MaxBuckets)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	emerging, aerr := queryInt(r, "emerging", DefaultEmerging, 1, MaxEmerging)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
+	// Parameters are already validated, so a failure here is about the
+	// corpus itself (empty, no time span) — not something the client can
+	// fix by changing the query.
+	rep, err := s.trendReport(snap, buckets, emerging)
+	if err != nil {
+		return nil, nil, errf(http.StatusUnprocessableEntity, ErrCodeNoData, "%v", err)
+	}
+	return rep, nil, nil
+}
+
+// engineResponse is the engine-status payload. Live is false in static
+// mode; the corpus counts are real either way, the ingestion counters
+// (seq, pending, totalMutations, …) are meaningful only when live.
+type engineResponse struct {
+	Live bool `json:"live"`
+	core.EngineStatus
+}
+
+func (s *Server) engineStatus() engineResponse {
+	if s.engine == nil {
+		c := s.current().Corpus()
+		return engineResponse{Live: false, EngineStatus: core.EngineStatus{
+			Seq:      s.current().Seq,
+			Bloggers: len(c.Bloggers),
+			Posts:    len(c.Posts),
+			Links:    len(c.Links),
+		}}
+	}
+	return engineResponse{Live: true, EngineStatus: s.engine.Status()}
+}
+
+func (s *Server) handleV1Engine(r *http.Request) (any, uint64, *apiError) {
+	st := s.engineStatus()
+	return st, st.Seq, nil
+}
+
+// -------------------------------------------------- legacy (deprecated)
+//
+// The pre-v1 aliases keep their original shapes bit-for-bit: bare JSON
+// bodies, plain-text errors, and the tolerant k/radius parsing that
+// silently falls back to defaults. They delegate to the same fetchers as
+// v1, so data cannot drift between the surfaces.
+
+func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
+	writeBareJSON(w, s.current().Stats())
+}
+
+func (s *Server) handleLegacyTop(w http.ResponseWriter, r *http.Request) {
+	out, _ := fetchTop(s.current(), intParam(r, "k", 3), 0)
+	writeBareJSON(w, out)
+}
+
+func (s *Server) handleLegacyDomains(w http.ResponseWriter, r *http.Request) {
+	writeBareJSON(w, lexicon.Domains())
+}
+
+func (s *Server) handleLegacyDomain(w http.ResponseWriter, r *http.Request) {
+	out, _ := fetchDomainTop(s.current(), r.PathValue("name"), intParam(r, "k", 3), 0)
+	writeBareJSON(w, out)
+}
+
+func (s *Server) handleLegacyDomainMissing(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "missing domain", http.StatusBadRequest)
+}
+
+func (s *Server) handleLegacyBlogger(w http.ResponseWriter, r *http.Request) {
+	detail, aerr := fetchBlogger(s.current(), blog.BloggerID(r.PathValue("id")))
+	if aerr != nil {
+		http.Error(w, fmt.Sprintf("unknown blogger %q", r.PathValue("id")), aerr.status)
+		return
+	}
+	writeBareJSON(w, detail)
+}
+
+func (s *Server) handleLegacyAdvert(w http.ResponseWriter, r *http.Request) {
+	var req advertRequest
+	if !decodeLegacyBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	if req.Text == "" && len(req.Domains) == 0 {
+		http.Error(w, "provide text or domains", http.StatusBadRequest)
+		return
+	}
+	writeBareJSON(w, fetchAdvert(s.current(), req))
+}
+
+func (s *Server) handleLegacyProfile(w http.ResponseWriter, r *http.Request) {
+	var req profileRequest
+	if !decodeLegacyBody(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 3
+	}
+	if req.Text == "" {
+		http.Error(w, "provide profile text", http.StatusBadRequest)
+		return
+	}
+	writeBareJSON(w, fetchProfile(s.current(), req))
+}
+
+func (s *Server) handleLegacyNetwork(w http.ResponseWriter, r *http.Request) {
+	rest := r.PathValue("rest")
+	svg := false
+	if id, ok := strings.CutSuffix(rest, ".svg"); ok {
+		svg, rest = true, id
+	}
+	snap := s.current()
+	net, err := snap.Network(blog.BloggerID(rest), intParam(r, "radius", 2), 1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if svg {
+		var buf bytes.Buffer
+		if err := net.WriteSVG(&buf, 1000, 800); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "image/svg+xml")
+		w.Write(buf.Bytes())
+		return
+	}
+	writeBareJSON(w, net)
+}
+
+func (s *Server) handleLegacyTrends(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.trendReport(s.current(), intParam(r, "buckets", 8), intParam(r, "emerging", 5))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeBareJSON(w, rep)
+}
+
+func (s *Server) handleLegacyEngine(w http.ResponseWriter, r *http.Request) {
+	writeBareJSON(w, s.engineStatus())
+}

@@ -1,0 +1,125 @@
+package api
+
+import (
+	"net/http"
+	"regexp"
+	"strings"
+)
+
+// openAPI builds an OpenAPI 3.0 document from the route table. It is
+// generated, never hand-maintained, so the spec cannot drift from the
+// routes actually registered on the mux; TestOpenAPIMatchesRouteTable
+// verifies the round trip.
+func (s *Server) openAPI() map[string]any {
+	paths := map[string]any{}
+	for _, rt := range s.routes {
+		pattern := specPath(rt.Pattern)
+		ops, _ := paths[pattern].(map[string]any)
+		if ops == nil {
+			ops = map[string]any{}
+			paths[pattern] = ops
+		}
+		op := map[string]any{
+			"operationId": operationID(rt.Method, rt.Pattern),
+			"summary":     rt.Summary,
+			"responses":   responsesFor(rt),
+		}
+		if rt.Deprecated {
+			op["deprecated"] = true
+		}
+		if params := parametersFor(rt); len(params) > 0 {
+			op["parameters"] = params
+		}
+		if rt.Method == http.MethodPost && !rt.Deprecated {
+			op["requestBody"] = map[string]any{
+				"required": true,
+				"content":  map[string]any{"application/json": map[string]any{}},
+			}
+		}
+		ops[strings.ToLower(rt.Method)] = op
+	}
+	return map[string]any{
+		"openapi": "3.0.3",
+		"info": map[string]any{
+			"title":       "MASS API",
+			"description": "Blogger influence analysis: rankings, recommendations, trends, network visualization and live ingestion. v1 responses use the {data, meta, error} envelope; /api/* routes without a version are deprecated aliases.",
+			"version":     "v1",
+		},
+		"paths": paths,
+	}
+}
+
+func parametersFor(rt route) []any {
+	var out []any
+	for _, p := range rt.Params {
+		schema := map[string]any{"type": p.Type}
+		if p.Default != nil {
+			schema["default"] = p.Default
+		}
+		if p.Maximum != nil {
+			schema["maximum"] = p.Maximum
+		}
+		param := map[string]any{
+			"name":   p.Name,
+			"in":     p.In,
+			"schema": schema,
+		}
+		if p.Description != "" {
+			param["description"] = p.Description
+		}
+		if p.Required || p.In == "path" {
+			param["required"] = true
+		}
+		out = append(out, param)
+	}
+	return out
+}
+
+func responsesFor(rt route) map[string]any {
+	ok := "200"
+	desc := "envelope {data, meta, error} with meta.seq set to the answering snapshot generation"
+	switch {
+	case rt.Method == http.MethodPost && strings.Contains(rt.Pattern, "/posts"),
+		rt.Method == http.MethodPost && strings.Contains(rt.Pattern, "/comments"),
+		rt.Method == http.MethodPost && strings.Contains(rt.Pattern, "/links"):
+		ok = "202"
+		desc = "mutations accepted; visible after the next re-analysis"
+	case strings.HasSuffix(rt.Pattern, ".svg"):
+		desc = "image/svg+xml"
+	case rt.Deprecated:
+		desc = "deprecated pre-v1 shape (bare JSON, no envelope)"
+	}
+	responses := map[string]any{ok: map[string]any{"description": desc}}
+	if rt.Method == http.MethodGet && !rt.Deprecated && rt.Pattern != "/api/v1" &&
+		rt.Pattern != "/api/v1/openapi.json" && rt.Pattern != "/api/v1/engine" {
+		responses["304"] = map[string]any{
+			"description": "snapshot unchanged since the If-None-Match generation",
+		}
+	}
+	return responses
+}
+
+// specPath translates a ServeMux pattern into a valid OpenAPI path:
+// {name} wildcards share the syntax and pass through, but the
+// exact-match-with-trailing-slash marker {$} is ServeMux-only and would
+// make validators reject the document, so it is stripped.
+func specPath(pattern string) string {
+	return strings.TrimSuffix(pattern, "{$}")
+}
+
+// wildcardRe matches {name} path segments in a ServeMux pattern; the same
+// syntax OpenAPI uses, so patterns translate verbatim.
+var wildcardRe = regexp.MustCompile(`\{([a-zA-Z0-9_$]+)\}`)
+
+func operationID(method, pattern string) string {
+	id := strings.ToLower(method) + wildcardRe.ReplaceAllString(pattern, "$1")
+	id = strings.NewReplacer("/", "_", ".", "_", "$", "root").Replace(id)
+	return id
+}
+
+// handleV1OpenAPI serves the generated spec (a plain OpenAPI document —
+// this is the one v1 JSON route without the envelope, by design, so
+// standard tooling can consume it directly).
+func (s *Server) handleV1OpenAPI(w http.ResponseWriter, r *http.Request) {
+	writeBareJSON(w, s.openAPI())
+}

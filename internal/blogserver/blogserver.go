@@ -9,10 +9,10 @@
 package blogserver
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +36,7 @@ type Page struct {
 // Server serves a corpus as a simulated blog site.
 type Server struct {
 	corpus *blog.Corpus
+	mux    *http.ServeMux
 	// Latency is added to every request (simulated network/server delay).
 	Latency time.Duration
 	// FailEvery makes every Nth request fail with HTTP 503 when > 0,
@@ -50,18 +51,38 @@ type Server struct {
 }
 
 // New builds a server over the corpus. The corpus must be valid and must
-// not be mutated while serving.
+// not be mutated while serving. Routes, registered as method+wildcard
+// patterns:
+//
+//	GET /spaces            — newline-separated list of all blogger IDs
+//	GET /space/{id}        — the blogger's Page as XML
 func New(c *blog.Corpus) *Server {
-	return &Server{corpus: c}
+	s := &Server{corpus: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /spaces", func(w http.ResponseWriter, r *http.Request) {
+		s.serveIndex(w)
+	})
+	s.mux.HandleFunc("GET /space/{id}", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := r.Context().Value(requestNumKey{}).(int64)
+		if s.CorruptEvery > 0 && n%s.CorruptEvery == 0 {
+			w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+			fmt.Fprint(w, "<space><blogger id=") // truncated mid-attribute
+			return
+		}
+		s.serveSpace(w, r.PathValue("id"))
+	})
+	return s
 }
+
+// requestNumKey carries the request's sequence number from the
+// fault-injection layer to the route handlers, so CorruptEvery stays
+// deterministic per request even under concurrent fetches.
+type requestNumKey struct{}
 
 // Requests reports how many requests have been served (including failures).
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
-// ServeHTTP implements http.Handler with two routes:
-//
-//	GET /spaces            — newline-separated list of all blogger IDs
-//	GET /space/{id}        — the blogger's Page as XML
+// ServeHTTP implements http.Handler: the fault-injection layer (latency,
+// deterministic 503s) runs first, then the mux routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	n := s.requests.Add(1)
 	if s.Latency > 0 {
@@ -71,19 +92,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "transient overload", http.StatusServiceUnavailable)
 		return
 	}
-	switch {
-	case r.URL.Path == "/spaces":
-		s.serveIndex(w)
-	case strings.HasPrefix(r.URL.Path, "/space/"):
-		if s.CorruptEvery > 0 && n%s.CorruptEvery == 0 {
-			w.Header().Set("Content-Type", "application/xml; charset=utf-8")
-			fmt.Fprint(w, "<space><blogger id=") // truncated mid-attribute
-			return
-		}
-		s.serveSpace(w, strings.TrimPrefix(r.URL.Path, "/space/"))
-	default:
-		http.NotFound(w, r)
-	}
+	s.mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestNumKey{}, n)))
 }
 
 func (s *Server) serveIndex(w http.ResponseWriter) {

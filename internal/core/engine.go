@@ -58,6 +58,21 @@ type Snapshot struct {
 	Elapsed time.Duration
 }
 
+// ETag formats the snapshot's generation as a strong HTTP entity tag.
+// Every read served from one snapshot is answerable by this single
+// validator: the corpus and analysis behind a generation are immutable, so
+// a response for a given URL can only change when Seq moves.
+func (s *Snapshot) ETag() string {
+	return fmt.Sprintf(`"mass-seq-%d"`, s.Seq)
+}
+
+// StaticSnapshot wraps a one-shot System as a frozen generation-1
+// snapshot, so snapshot-oriented consumers (the API server) can serve
+// static and live systems through the same interface.
+func StaticSnapshot(sys *System) *Snapshot {
+	return &Snapshot{System: sys, Seq: 1}
+}
+
 // EngineStatus is a point-in-time health report (the /api/engine payload).
 type EngineStatus struct {
 	Seq              uint64        `json:"seq"`
