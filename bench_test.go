@@ -29,6 +29,8 @@ import (
 	"mass/internal/graph"
 	"mass/internal/influence"
 	"mass/internal/linkrank"
+	"mass/internal/query"
+	"mass/internal/rank"
 	"mass/internal/synth"
 	"mass/internal/xmlstore"
 )
@@ -348,6 +350,100 @@ func BenchmarkIncrementalReanalysis(b *testing.B) {
 			}
 			if !res.PageRankSkipped {
 				b.Fatal("link graph unchanged; PageRank must be skipped")
+			}
+		}
+	})
+}
+
+// BenchmarkQueryExecute measures the composable query engine's filtered,
+// ordered top-k path on a 5k-post corpus against the pre-engine
+// "map-building" idiom (materialize a per-blogger score map for the
+// filtered set, then rank.TopK it). The query cases run with
+// b.ReportAllocs: the planned executor's headline property is that it
+// allocates O(plan + k) — no per-blogger maps — so allocs/op stays flat
+// as the corpus grows (BENCH_PR4.json records the budget; a unit test in
+// internal/query asserts it does not grow with corpus size).
+func BenchmarkQueryExecute(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 500, Posts: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 30, 2011))
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := influence.NewAnalyzer(influence.Config{Workers: 4}, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := an.Analyze(corpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dom := res.Domains()[0]
+	slot, _ := res.DomainSlot(dom)
+	d := res.Dense()
+	nd := len(d.Domains)
+	// Median-ish thresholds so the filter does real work.
+	var infSum, domSum float64
+	for i := range d.Bloggers {
+		infSum += d.Influence[i]
+		domSum += d.DomainScores[i*nd+slot]
+	}
+	infThresh := infSum / float64(len(d.Bloggers))
+	domThresh := domSum / float64(len(d.Bloggers))
+
+	q := query.Bloggers().
+		Where(query.And(
+			query.F(query.FieldInfluence).Gt(infThresh),
+			query.Domain(dom).Ge(domThresh),
+		)).
+		OrderBy(query.Desc(query.DomainKey(dom))).
+		Limit(10).Build()
+	plain := query.Bloggers().OrderBy(query.Desc(query.DomainKey(dom))).Limit(10).Build()
+	// Warm both plans so every case measures steady state: the filtered
+	// scan compiles its closures fresh each run, but the unfiltered case
+	// is served from the result's lazily-materialized rankings, which
+	// only a ranked-plan execution triggers.
+	for _, warm := range []*query.Query{q, plain} {
+		if _, err := query.Execute(corpus, res, warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("query-filtered-topk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Execute(corpus, res, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mapscan-filtered-topk", func(b *testing.B) {
+		// The pre-engine idiom: build a blogger-sized score map, then
+		// TopK it. This is what every new scenario endpoint used to cost.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scores := make(map[string]float64)
+			for bi, id := range d.Bloggers {
+				if d.Influence[bi] > infThresh {
+					if s := res.DomainScore(id, dom); s >= domThresh {
+						scores[string(id)] = s
+					}
+				}
+			}
+			if got := rank.TopK(scores, 10); len(got) == 0 {
+				b.Fatal("empty ranking")
+			}
+		}
+	})
+	b.Run("query-unfiltered-ranked", func(b *testing.B) {
+		// The fast path: no filter, single descending key — served from
+		// the snapshot's precomputed ranking.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := query.Execute(corpus, res, plain); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})

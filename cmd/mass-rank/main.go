@@ -22,6 +22,7 @@ import (
 	"mass/internal/influence"
 	"mass/internal/lexicon"
 	"mass/internal/netstats"
+	"mass/internal/query"
 	"mass/internal/rank"
 	"mass/internal/xmlstore"
 )
@@ -54,10 +55,25 @@ func main() {
 	res := sys.Result()
 	fmt.Printf("solver: converged=%v iterations=%d\n\n", res.Converged, res.Iterations)
 
+	// Rankings are canned queries against the composable engine: the
+	// general list is the default blogger query, a domain list just swaps
+	// the order key.
+	topRows := func(q *query.Query) []query.Row {
+		if *k <= 0 {
+			// Historical behavior: non-positive k prints empty sections.
+			return nil
+		}
+		r, err := sys.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.Rows
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "GENERAL top-%d\tInf(b)\n", *k)
-	for _, b := range sys.TopInfluential(*k) {
-		fmt.Fprintf(tw, "%s\t%.4f\n", b, res.BloggerScores[b])
+	for _, row := range topRows(query.Bloggers().Limit(*k).Build()) {
+		fmt.Fprintf(tw, "%s\t%.4f\n", row.ID, row.Score)
 	}
 	tw.Flush()
 
@@ -67,8 +83,9 @@ func main() {
 	}
 	for _, d := range domains {
 		fmt.Fprintf(tw, "\n%s top-%d\tInf(b,Ct)\n", d, *k)
-		for _, b := range sys.TopInDomain(d, *k) {
-			fmt.Fprintf(tw, "%s\t%.4f\n", b, res.DomainScore(b, d))
+		q := query.Bloggers().OrderBy(query.Desc(query.DomainKey(d))).Limit(*k).Build()
+		for _, row := range topRows(q) {
+			fmt.Fprintf(tw, "%s\t%.4f\n", row.ID, row.Score)
 		}
 		tw.Flush()
 	}

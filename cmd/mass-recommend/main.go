@@ -19,6 +19,7 @@ import (
 
 	"mass/internal/blog"
 	"mass/internal/core"
+	"mass/internal/query"
 )
 
 func main() {
@@ -42,28 +43,44 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Both scenarios are the same query shape: mine an interest vector
+	// (classifier posterior over the text, or explicit domain weights) and
+	// rank every blogger by the weighted-domain dot product.
+	interestRows := func(iv map[string]float64) []query.Row {
+		if *k <= 0 {
+			// Historical behavior: non-positive k prints empty lists.
+			return nil
+		}
+		q := query.Bloggers().OrderBy(query.DescInterest(iv)).Limit(*k).Build()
+		r, err := sys.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.Rows
+	}
+
 	ran := false
 	switch {
 	case *adText != "":
 		ran = true
 		fmt.Printf("advertisement (text mode): %q\n", *adText)
-		for i, r := range sys.AdvertiseText(*adText, *k) {
-			fmt.Printf("  %d. %s  (Inf(b,a)=%.4f)\n", i+1, r.Blogger, r.Score)
+		for i, row := range interestRows(sys.Classifier().Classify(*adText)) {
+			fmt.Printf("  %d. %s  (Inf(b,a)=%.4f)\n", i+1, row.ID, row.Score)
 		}
 	case *domainsCSV != "":
 		ran = true
 		domains := strings.Split(*domainsCSV, ",")
 		fmt.Printf("advertisement (dropdown mode): %v\n", domains)
-		for i, r := range sys.AdvertiseDomains(domains, *k) {
-			fmt.Printf("  %d. %s  (score=%.4f)\n", i+1, r.Blogger, r.Score)
+		for i, row := range interestRows(query.EqualWeights(domains)) {
+			fmt.Printf("  %d. %s  (score=%.4f)\n", i+1, row.ID, row.Score)
 		}
 	}
 
 	if *profile != "" {
 		ran = true
 		fmt.Printf("personalized (profile): %q\n", *profile)
-		for i, r := range sys.RecommendForProfile(*profile, *k) {
-			fmt.Printf("  %d. %s  (score=%.4f)\n", i+1, r.Blogger, r.Score)
+		for i, row := range interestRows(sys.Classifier().Classify(*profile)) {
+			fmt.Printf("  %d. %s  (score=%.4f)\n", i+1, row.ID, row.Score)
 		}
 	}
 	if *member != "" {

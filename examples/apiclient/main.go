@@ -21,6 +21,7 @@ import (
 	"mass/internal/api"
 	"mass/internal/blog"
 	"mass/internal/core"
+	"mass/internal/query"
 )
 
 // envelope is the uniform v1 response shape.
@@ -136,4 +137,69 @@ func main() {
 	// 5. Errors are machine-readable.
 	_, _, env = get(base, "/api/v1/bloggers/top?limit=oops", "")
 	fmt.Printf("\nmalformed limit -> code=%q param=%q: %s\n", env.Error.Code, env.Error.Param, env.Error.Message)
+
+	// 6. The composable query endpoint: one POST expresses what used to
+	// need a dedicated route — here, "bloggers with at least 2 posts,
+	// ordered by Sports influence, with their link authority along".
+	ast := `{
+		"entity": "bloggers",
+		"where": {"field": "posts", "op": "ge", "value": 2},
+		"orderBy": [{"field": "domain:Sports", "desc": true}],
+		"select": ["gl"],
+		"limit": 3
+	}`
+	resp, err = http.Post(base+"/api/v1/query", "application/json", strings.NewReader(ast))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var queryEnv envelope
+	if err := json.NewDecoder(resp.Body).Decode(&queryEnv); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	var qres struct {
+		Rows []struct {
+			ID     string             `json:"id"`
+			Score  float64            `json:"score"`
+			Fields map[string]float64 `json:"fields"`
+		} `json:"rows"`
+		Total int    `json:"total"`
+		Plan  string `json:"plan"`
+	}
+	if err := json.Unmarshal(queryEnv.Data, &qres); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPOST /api/v1/query (plan %s, %d matched):\n", qres.Plan, qres.Total)
+	for _, r := range qres.Rows {
+		fmt.Printf("  %-8s sports=%.4f gl=%.4f\n", r.ID, r.Score, r.Fields["gl"])
+	}
+
+	// 7. The same contract in Go: the fluent builder against the engine's
+	// current snapshot — the canonical embedded read path. A typo'd AST
+	// never reaches the executor (strict decoding answers 400).
+	snap := engine.Current()
+	qr, err := snap.Query(query.Posts().
+		Where(query.And(
+			query.F(query.FieldComments).Ge(1),
+			query.F(query.FieldNovelty).Gt(0.5),
+		)).
+		OrderBy(query.Desc(query.FieldQuality)).
+		Limit(3).Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGo builder: top commented-and-novel posts (plan %s):\n", qr.Plan)
+	for _, r := range qr.Rows {
+		fmt.Printf("  %-8s quality=%.4f\n", r.ID, r.Score)
+	}
+
+	bad := strings.NewReader(`{"entity":"bloggers","wherre":{}}`)
+	resp, err = http.Post(base+"/api/v1/query", "application/json", bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var badEnv envelope
+	json.NewDecoder(resp.Body).Decode(&badEnv)
+	resp.Body.Close()
+	fmt.Printf("\ntypo'd query -> HTTP %d code=%q\n", resp.StatusCode, badEnv.Error.Code)
 }

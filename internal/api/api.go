@@ -19,6 +19,9 @@
 //
 //	GET  /api/v1                          discovery document (routes, limits)
 //	GET  /api/v1/openapi.json             OpenAPI 3.0 spec, generated from the route table
+//	GET  /api/v1/healthz                  liveness probe (constant cost, no snapshot pin)
+//	POST /api/v1/query                    composable typed query (filter/order/project/
+//	                                      paginate/aggregate; AST schema in the OpenAPI spec)
 //	GET  /api/v1/stats                    corpus summary
 //	GET  /api/v1/bloggers/top             general ranking      ?limit=10&offset=0
 //	GET  /api/v1/bloggers/{id}            one blogger's influence detail
@@ -36,9 +39,17 @@
 // structured request logging, panic recovery, and optional per-client
 // token-bucket rate limiting (429 + Retry-After).
 //
+// The ranking and scenario endpoints are thin builders over the
+// composable query engine (package query) — POST /api/v1/query can
+// express any of them, and the equivalence tests assert the rewritten
+// handlers return byte-identical data to their pre-query
+// implementations. v1 request bodies are decoded strictly: unknown JSON
+// fields answer 400 invalid_body instead of being silently ignored.
+//
 // The pre-v1 routes (/api/stats, /api/top?k=, /api/domain/{name}, ...)
-// remain as deprecated aliases with their original bare response shapes;
-// new clients should use v1.
+// remain as deprecated aliases with their original bare response shapes
+// and RFC 8594 lifecycle headers (Deprecation, Sunset, and a successor
+// Link); new clients should use v1.
 package api
 
 import (

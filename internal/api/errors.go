@@ -17,6 +17,13 @@ const (
 	// ErrCodeBadJSON: the request body is not valid JSON for the endpoint's
 	// schema.
 	ErrCodeBadJSON = "bad_json"
+	// ErrCodeInvalidBody: the body is valid JSON but violates the
+	// endpoint's schema — most commonly an unknown field (v1 bodies are
+	// decoded strictly, so typos are rejected instead of silently ignored).
+	ErrCodeInvalidBody = "invalid_body"
+	// ErrCodeInvalidQuery: POST /api/v1/query received a body that does
+	// not decode or validate as a query AST.
+	ErrCodeInvalidQuery = "invalid_query"
 	// ErrCodeValidation: the body parsed but the engine rejected its
 	// contents (duplicate post ID, comment on an unknown post, self-link…).
 	ErrCodeValidation = "validation_failed"

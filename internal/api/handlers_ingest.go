@@ -6,6 +6,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"mass/internal/blog"
@@ -63,34 +64,63 @@ func readBody(r *http.Request) ([]byte, *apiError) {
 	return data, nil
 }
 
-// decodeOneOrMany decodes the request body into *T or []T depending on the
-// leading token, returning the slice either way.
-func decodeOneOrMany[T any](r *http.Request) ([]T, *apiError) {
+// strictUnmarshal decodes JSON with unknown fields rejected: a typo in a
+// field name is a schema violation (invalid_body), not a silently dropped
+// value; anything else that fails to decode stays bad_json.
+func strictUnmarshal(data []byte, v any) *apiError {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if strings.Contains(err.Error(), "unknown field") {
+			return errf(http.StatusBadRequest, ErrCodeInvalidBody, "invalid body: %v", err)
+		}
+		return errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
+	}
+	if dec.More() {
+		return errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: trailing data after the body")
+	}
+	return nil
+}
+
+// decodeOneOrMany decodes the request body into *T or []T depending on
+// the leading token, returning the slice either way. strict enables the
+// v1 unknown-field rejection; the legacy aliases keep the tolerant
+// pre-v1 decoding.
+func decodeOneOrMany[T any](r *http.Request, strict bool) ([]T, *apiError) {
 	data, aerr := readBody(r)
 	if aerr != nil {
 		return nil, aerr
 	}
+	unmarshal := func(v any) *apiError {
+		if strict {
+			return strictUnmarshal(data, v)
+		}
+		if err := json.Unmarshal(data, v); err != nil {
+			return errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
+		}
+		return nil
+	}
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	if len(trimmed) > 0 && trimmed[0] == '[' {
 		var many []T
-		if err := json.Unmarshal(data, &many); err != nil {
-			return nil, errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
+		if aerr := unmarshal(&many); aerr != nil {
+			return nil, aerr
 		}
 		return many, nil
 	}
 	var one T
-	if err := json.Unmarshal(data, &one); err != nil {
-		return nil, errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
+	if aerr := unmarshal(&one); aerr != nil {
+		return nil, aerr
 	}
 	return []T{one}, nil
 }
 
 // decodeFunc turns a request body into an engine batch; one per ingestion
-// endpoint, shared by the v1 and legacy handlers.
-type decodeFunc func(r *http.Request) (core.Batch, int, *apiError)
+// endpoint, shared by the v1 (strict) and legacy (tolerant) handlers.
+type decodeFunc func(r *http.Request, strict bool) (core.Batch, int, *apiError)
 
-func decodePosts(r *http.Request) (core.Batch, int, *apiError) {
-	reqs, aerr := decodeOneOrMany[postRequest](r)
+func decodePosts(r *http.Request, strict bool) (core.Batch, int, *apiError) {
+	reqs, aerr := decodeOneOrMany[postRequest](r, strict)
 	if aerr != nil {
 		return core.Batch{}, 0, aerr
 	}
@@ -104,8 +134,8 @@ func decodePosts(r *http.Request) (core.Batch, int, *apiError) {
 	return batch, len(reqs), nil
 }
 
-func decodeComments(r *http.Request) (core.Batch, int, *apiError) {
-	reqs, aerr := decodeOneOrMany[commentRequest](r)
+func decodeComments(r *http.Request, strict bool) (core.Batch, int, *apiError) {
+	reqs, aerr := decodeOneOrMany[commentRequest](r, strict)
 	if aerr != nil {
 		return core.Batch{}, 0, aerr
 	}
@@ -121,8 +151,8 @@ func decodeComments(r *http.Request) (core.Batch, int, *apiError) {
 	return batch, len(reqs), nil
 }
 
-func decodeLinks(r *http.Request) (core.Batch, int, *apiError) {
-	reqs, aerr := decodeOneOrMany[linkRequest](r)
+func decodeLinks(r *http.Request, strict bool) (core.Batch, int, *apiError) {
+	reqs, aerr := decodeOneOrMany[linkRequest](r, strict)
 	if aerr != nil {
 		return core.Batch{}, 0, aerr
 	}
@@ -135,12 +165,12 @@ func decodeLinks(r *http.Request) (core.Batch, int, *apiError) {
 
 // ingest runs the shared mutation path: require a live engine, decode,
 // apply atomically, and report the acknowledgment.
-func (s *Server) ingest(dec decodeFunc, r *http.Request) (ingestResponse, *apiError) {
+func (s *Server) ingest(dec decodeFunc, r *http.Request, strict bool) (ingestResponse, *apiError) {
 	if s.engine == nil {
 		return ingestResponse{}, errf(http.StatusServiceUnavailable, ErrCodeReadOnly,
 			"read-only: server built without an ingestion engine")
 	}
-	batch, accepted, aerr := dec(r)
+	batch, accepted, aerr := dec(r, strict)
 	if aerr != nil {
 		return ingestResponse{}, aerr
 	}
@@ -155,7 +185,7 @@ func (s *Server) ingest(dec decodeFunc, r *http.Request) (ingestResponse, *apiEr
 // with the acknowledgment as data and the current seq in meta.
 func (s *Server) v1Ingest(dec decodeFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		ack, aerr := s.ingest(dec, r)
+		ack, aerr := s.ingest(dec, r, true)
 		if aerr != nil {
 			writeAPIError(w, aerr)
 			return
@@ -168,7 +198,7 @@ func (s *Server) v1Ingest(dec decodeFunc) http.HandlerFunc {
 // and plain-text errors.
 func (s *Server) legacyIngest(dec decodeFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		ack, aerr := s.ingest(dec, r)
+		ack, aerr := s.ingest(dec, r, false)
 		if aerr != nil {
 			http.Error(w, aerr.Message, aerr.status)
 			return

@@ -1,0 +1,93 @@
+package api
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+
+	"mass/internal/query"
+)
+
+// queryETag derives the validator for one (generation, normalized query)
+// pair. All queries share one URL, so the generation alone is not a safe
+// validator — a client holding query A's ETag must not get a 304 for
+// query B. Folding the normalized query key in makes the validator
+// response-specific while keeping the polling contract: the same body
+// re-posted against the same generation matches.
+func queryETag(seq uint64, key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf(`"mass-seq-%d-q%016x"`, seq, h.Sum64())
+}
+
+// handleV1Query is POST /api/v1/query: the composable read surface. The
+// body is a query AST (see query.JSONSchema, published in the OpenAPI
+// spec); anything that fails to decode or validate is 400 invalid_query.
+//
+// The whole request is answered from one pinned snapshot. Deliberately,
+// If-None-Match is honored even though this is a POST: a query response
+// is fully determined by (generation, normalized body), the ETag encodes
+// both, and a client re-posting the same query with the validator it
+// last saw gets a body-less 304 until the engine publishes a new
+// generation — the cheap-polling contract the GET endpoints already
+// have. The body is decoded before the validator is checked, so an
+// invalid query is always a 400, never a 304.
+func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	data, aerr := readBody(r)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	q, err := query.Decode(data)
+	if err != nil {
+		writeAPIError(w, errf(http.StatusBadRequest, ErrCodeInvalidQuery, "%v", err))
+		return
+	}
+	// The API surface keeps its documented page size: tighter than the
+	// engine's own cap, and clamped (not rejected), like every other list
+	// endpoint. (Offsets beyond the engine bound were already rejected by
+	// Decode.) Clamp before deriving the validator so equal effective
+	// queries share one ETag.
+	if q.Limit > MaxLimit {
+		q.Limit = MaxLimit
+	}
+	key, err := q.Key()
+	if err != nil {
+		writeAPIError(w, errf(http.StatusBadRequest, ErrCodeInvalidQuery, "%v", err))
+		return
+	}
+	etag := queryETag(snap.Seq, key)
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	qr, err := snap.Query(q)
+	if err != nil {
+		writeAPIError(w, errf(http.StatusBadRequest, ErrCodeInvalidQuery, "%v", err))
+		return
+	}
+	writeEnvelope(w, http.StatusOK, Envelope{Data: qr, Meta: &Meta{
+		Seq: snap.Seq,
+		Page: &Page{
+			Limit:  q.Limit,
+			Offset: q.Offset,
+			Total:  qr.Total,
+			Count:  len(qr.Rows),
+		},
+	}})
+}
+
+// healthzResponse is the liveness payload: process-level health only,
+// for load balancers — no snapshot pin, no analysis state.
+type healthzResponse struct {
+	Status string `json:"status"`
+	Live   bool   `json:"live"`
+}
+
+// handleV1Healthz is GET /api/v1/healthz: a constant-cost liveness probe
+// (the one lock-free atomic load it does is to report the current seq).
+func (s *Server) handleV1Healthz(r *http.Request) (any, uint64, *apiError) {
+	return healthzResponse{Status: "ok", Live: s.engine != nil}, s.current().Seq, nil
+}

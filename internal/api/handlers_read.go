@@ -2,7 +2,6 @@ package api
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"slices"
@@ -13,7 +12,7 @@ import (
 	"mass/internal/blog"
 	"mass/internal/core"
 	"mass/internal/lexicon"
-	"mass/internal/rank"
+	"mass/internal/query"
 	"mass/internal/trend"
 )
 
@@ -47,31 +46,47 @@ type topPost struct {
 // One fetch function per resource, shared verbatim by the v1 handlers and
 // the deprecated aliases, so the two surfaces cannot drift: the legacy
 // response body is exactly the v1 envelope's data field.
+//
+// Since the query-engine redesign the ranking and scenario fetchers are
+// thin builders over core.Snapshot.Query — the composable engine is the
+// one read path, and these endpoints are just canned queries against it
+// (the equivalence tests assert the results are byte-identical to the
+// pre-query implementations).
 
-// entriesPage windows a precomputed ranking: the ranking is materialized
-// to offset+limit entries, then sliced.
-func entriesPage(entries []rank.Entry, offset int) []scored {
-	if offset >= len(entries) {
-		return []scored{}
-	}
-	entries = entries[offset:]
-	out := make([]scored, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, scored{Blogger: blog.BloggerID(e.ID), Score: e.Score})
+// rowsToScored converts query rows to the wire rows these endpoints have
+// always served.
+func rowsToScored(rows []query.Row) []scored {
+	out := make([]scored, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, scored{Blogger: blog.BloggerID(r.ID), Score: r.Score})
 	}
 	return out
 }
 
-func fetchTop(snap *core.Snapshot, limit, offset int) ([]scored, *Page) {
-	res := snap.Result()
-	out := entriesPage(res.TopGeneral(offset+limit), offset)
-	return out, &Page{Limit: limit, Offset: offset, Total: len(res.BloggerScores), Count: len(out)}
+// runScored executes a blogger query and adapts it to ([]scored, Page).
+func runScored(snap *core.Snapshot, q *query.Query, limit, offset int) ([]scored, *Page, *apiError) {
+	qr, err := snap.Query(q)
+	if err != nil {
+		// The canned queries are valid by construction; failure here is a
+		// server bug, not client input.
+		return nil, nil, errf(http.StatusInternalServerError, ErrCodeInternal, "query: %v", err)
+	}
+	out := rowsToScored(qr.Rows)
+	return out, &Page{Limit: limit, Offset: offset, Total: qr.Total, Count: len(out)}, nil
 }
 
-func fetchDomainTop(snap *core.Snapshot, domain string, limit, offset int) ([]scored, *Page) {
-	res := snap.Result()
-	out := entriesPage(res.TopDomain(domain, offset+limit), offset)
-	return out, &Page{Limit: limit, Offset: offset, Total: len(res.BloggerScores), Count: len(out)}
+func fetchTop(snap *core.Snapshot, limit, offset int) ([]scored, *Page, *apiError) {
+	q := query.Bloggers().
+		OrderBy(query.Desc(query.FieldInfluence)).
+		Limit(limit).Offset(offset).Build()
+	return runScored(snap, q, limit, offset)
+}
+
+func fetchDomainTop(snap *core.Snapshot, domain string, limit, offset int) ([]scored, *Page, *apiError) {
+	q := query.Bloggers().
+		OrderBy(query.Desc(query.DomainKey(domain))).
+		Limit(limit).Offset(offset).Build()
+	return runScored(snap, q, limit, offset)
 }
 
 func fetchBlogger(snap *core.Snapshot, id blog.BloggerID) (bloggerDetail, *apiError) {
@@ -116,18 +131,33 @@ type advertRequest struct {
 	K       int      `json:"k"`
 }
 
-func fetchAdvert(snap *core.Snapshot, req advertRequest) []scored {
-	out := []scored{}
+// interestQuery is the shared scenario shape: mine an interest vector,
+// rank every blogger by the dot product with it — one ordered query. An
+// empty vector (nothing classifiable, or only empty domain selections)
+// is a client-input 400, never a 500 from weight validation.
+func interestQuery(iv map[string]float64, k int) (*query.Query, *apiError) {
+	if len(iv) == 0 {
+		return nil, errParam("domains", "no usable interest domains in the request")
+	}
+	return query.Bloggers().OrderBy(query.DescInterest(iv)).Limit(k).Build(), nil
+}
+
+func fetchAdvert(snap *core.Snapshot, req advertRequest) ([]scored, *apiError) {
+	// Option 1 (free text): the ad's interest vector is the classifier
+	// posterior. Option 2 (dropdown): equal weight per selected domain.
+	// Both handlers reject empty text+domains before calling here.
+	var iv map[string]float64
 	if req.Text != "" {
-		for _, rec := range snap.AdvertiseText(req.Text, req.K) {
-			out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
-		}
-		return out
+		iv = snap.Classifier().Classify(req.Text)
+	} else {
+		iv = query.EqualWeights(req.Domains)
 	}
-	for _, rec := range snap.AdvertiseDomains(req.Domains, req.K) {
-		out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+	q, aerr := interestQuery(iv, req.K)
+	if aerr != nil {
+		return nil, aerr
 	}
-	return out
+	out, _, aerr := runScored(snap, q, req.K, 0)
+	return out, aerr
 }
 
 // profileRequest is the Scenario 2 payload.
@@ -136,12 +166,13 @@ type profileRequest struct {
 	K    int    `json:"k"`
 }
 
-func fetchProfile(snap *core.Snapshot, req profileRequest) []scored {
-	out := []scored{}
-	for _, rec := range snap.RecommendForProfile(req.Text, req.K) {
-		out = append(out, scored{Blogger: rec.Blogger, Score: rec.Score})
+func fetchProfile(snap *core.Snapshot, req profileRequest) ([]scored, *apiError) {
+	q, aerr := interestQuery(snap.Classifier().Classify(req.Text), req.K)
+	if aerr != nil {
+		return nil, aerr
 	}
-	return out
+	out, _, aerr := runScored(snap, q, req.K, 0)
+	return out, aerr
 }
 
 // snapshotDomains is the domain list the snapshot can actually rank:
@@ -231,7 +262,10 @@ func (s *Server) handleV1TopBloggers(snap *core.Snapshot, r *http.Request) (any,
 	if aerr != nil {
 		return nil, nil, aerr
 	}
-	out, page := fetchTop(snap, limit, offset)
+	out, page, aerr := fetchTop(snap, limit, offset)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
 	return out, &Meta{Page: page}, nil
 }
 
@@ -265,7 +299,10 @@ func (s *Server) handleV1DomainTop(snap *core.Snapshot, r *http.Request) (any, *
 	if aerr != nil {
 		return nil, nil, aerr
 	}
-	out, page := fetchDomainTop(snap, name, limit, offset)
+	out, page, aerr := fetchDomainTop(snap, name, limit, offset)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
 	return out, &Meta{Page: page}, nil
 }
 
@@ -297,16 +334,15 @@ func (s *Server) handleV1NetworkSVG(snap *core.Snapshot, r *http.Request) ([]byt
 	return buf.Bytes(), "image/svg+xml", nil
 }
 
-// v1Body bounds and decodes a single-object JSON body.
+// v1Body bounds and decodes a single-object JSON body, strictly: unknown
+// fields are invalid_body, so a typoed clause fails loudly instead of
+// silently changing the query's meaning.
 func v1Body[T any](r *http.Request, v *T) *apiError {
 	data, aerr := readBody(r)
 	if aerr != nil {
 		return aerr
 	}
-	if err := json.Unmarshal(data, v); err != nil {
-		return errf(http.StatusBadRequest, ErrCodeBadJSON, "bad JSON: %v", err)
-	}
-	return nil
+	return strictUnmarshal(data, v)
 }
 
 func (s *Server) handleV1Advert(snap *core.Snapshot, r *http.Request) (any, *Meta, *apiError) {
@@ -323,7 +359,10 @@ func (s *Server) handleV1Advert(snap *core.Snapshot, r *http.Request) (any, *Met
 	if req.K > MaxLimit {
 		req.K = MaxLimit
 	}
-	out := fetchAdvert(snap, req)
+	out, aerr := fetchAdvert(snap, req)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
 	return out, &Meta{Page: &Page{Limit: req.K, Total: len(snap.Result().BloggerScores), Count: len(out)}}, nil
 }
 
@@ -341,7 +380,10 @@ func (s *Server) handleV1Profile(snap *core.Snapshot, r *http.Request) (any, *Me
 	if req.K > MaxLimit {
 		req.K = MaxLimit
 	}
-	out := fetchProfile(snap, req)
+	out, aerr := fetchProfile(snap, req)
+	if aerr != nil {
+		return nil, nil, aerr
+	}
 	return out, &Meta{Page: &Page{Limit: req.K, Total: len(snap.Result().BloggerScores), Count: len(out)}}, nil
 }
 
@@ -402,7 +444,11 @@ func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLegacyTop(w http.ResponseWriter, r *http.Request) {
-	out, _ := fetchTop(s.current(), intParam(r, "k", 3), 0)
+	out, _, aerr := fetchTop(s.current(), intParam(r, "k", 3), 0)
+	if aerr != nil {
+		http.Error(w, aerr.Message, aerr.status)
+		return
+	}
 	writeBareJSON(w, out)
 }
 
@@ -411,7 +457,11 @@ func (s *Server) handleLegacyDomains(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLegacyDomain(w http.ResponseWriter, r *http.Request) {
-	out, _ := fetchDomainTop(s.current(), r.PathValue("name"), intParam(r, "k", 3), 0)
+	out, _, aerr := fetchDomainTop(s.current(), r.PathValue("name"), intParam(r, "k", 3), 0)
+	if aerr != nil {
+		http.Error(w, aerr.Message, aerr.status)
+		return
+	}
 	writeBareJSON(w, out)
 }
 
@@ -440,7 +490,12 @@ func (s *Server) handleLegacyAdvert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "provide text or domains", http.StatusBadRequest)
 		return
 	}
-	writeBareJSON(w, fetchAdvert(s.current(), req))
+	out, aerr := fetchAdvert(s.current(), req)
+	if aerr != nil {
+		http.Error(w, aerr.Message, aerr.status)
+		return
+	}
+	writeBareJSON(w, out)
 }
 
 func (s *Server) handleLegacyProfile(w http.ResponseWriter, r *http.Request) {
@@ -455,7 +510,12 @@ func (s *Server) handleLegacyProfile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "provide profile text", http.StatusBadRequest)
 		return
 	}
-	writeBareJSON(w, fetchProfile(s.current(), req))
+	out, aerr := fetchProfile(s.current(), req)
+	if aerr != nil {
+		http.Error(w, aerr.Message, aerr.status)
+		return
+	}
+	writeBareJSON(w, out)
 }
 
 func (s *Server) handleLegacyNetwork(w http.ResponseWriter, r *http.Request) {

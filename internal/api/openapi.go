@@ -31,9 +31,13 @@ func (s *Server) openAPI() map[string]any {
 			op["parameters"] = params
 		}
 		if rt.Method == http.MethodPost && !rt.Deprecated {
+			content := map[string]any{}
+			if rt.bodySchema != nil {
+				content["schema"] = rt.bodySchema
+			}
 			op["requestBody"] = map[string]any{
 				"required": true,
-				"content":  map[string]any{"application/json": map[string]any{}},
+				"content":  map[string]any{"application/json": content},
 			}
 		}
 		ops[strings.ToLower(rt.Method)] = op

@@ -3,6 +3,8 @@ package api
 import (
 	"net/http"
 	"strings"
+
+	"mass/internal/query"
 )
 
 // paramDoc documents one route parameter for the discovery document and
@@ -48,6 +50,9 @@ type route struct {
 	Envelope bool `json:"envelope"`
 
 	handler http.HandlerFunc
+	// bodySchema, when set on a POST route, is the JSON-Schema of its
+	// request body, published in the generated OpenAPI spec.
+	bodySchema map[string]any
 }
 
 // routeTable builds the full surface: the v1 contract plus the deprecated
@@ -58,6 +63,8 @@ func (s *Server) routeTable() []route {
 	v1 := []route{
 		{Method: "GET", Pattern: "/api/v1", Summary: "API discovery document: routes, parameter bounds, links", Envelope: true, handler: s.v1NoSnapshot(s.handleV1Discovery)},
 		{Method: "GET", Pattern: "/api/v1/openapi.json", Summary: "OpenAPI 3.0 description of this server, generated from the route table", handler: s.handleV1OpenAPI},
+		{Method: "GET", Pattern: "/api/v1/healthz", Summary: "Liveness probe for load balancers (constant cost, no snapshot pin)", Envelope: true, handler: s.v1NoSnapshot(s.handleV1Healthz)},
+		{Method: "POST", Pattern: "/api/v1/query", Summary: "Composable query over bloggers, posts and domains: filter/order/project/paginate/aggregate; body is the query AST (JSON-Schema in the OpenAPI spec), honors If-None-Match", Envelope: true, handler: s.handleV1Query, bodySchema: query.JSONSchema()},
 		{Method: "GET", Pattern: "/api/v1/stats", Summary: "Corpus summary statistics", Envelope: true, handler: s.v1Read(s.handleV1Stats)},
 		{Method: "GET", Pattern: "/api/v1/bloggers/top", Summary: "General influence ranking, paginated", Params: pageParamDocs(), Envelope: true, handler: s.v1Read(s.handleV1TopBloggers)},
 		{Method: "GET", Pattern: "/api/v1/bloggers/{id}", Summary: "One blogger's influence detail", Params: []paramDoc{pathParam("id", "blogger ID")}, Envelope: true, handler: s.v1Read(s.handleV1Blogger)},
@@ -95,11 +102,37 @@ func (s *Server) routeTable() []route {
 	return append(v1, legacy...)
 }
 
+// Legacy-alias lifecycle headers (RFC 8594). Deprecation marks the
+// surface as deprecated; Sunset announces when it may be removed; the
+// Link header points migrating clients at the successor surface.
+const (
+	legacyDeprecation = "true"
+	legacySunset      = "Tue, 01 Jun 2027 00:00:00 GMT"
+	legacySuccessor   = `</api/v1>; rel="successor-version"`
+)
+
+// deprecationHeaders wraps a legacy alias handler so every response —
+// success or error — advertises the surface's lifecycle.
+func deprecationHeaders(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := w.Header()
+		h.Set("Deprecation", legacyDeprecation)
+		h.Set("Sunset", legacySunset)
+		h.Set("Link", legacySuccessor)
+		next(w, r)
+	}
+}
+
 // register installs the route table on the mux with Go 1.22 method +
-// wildcard patterns.
+// wildcard patterns. Deprecated aliases pick up the lifecycle headers
+// here, at the routing layer, so no alias handler can forget them.
 func (s *Server) register() {
 	for _, rt := range s.routes {
-		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+		h := rt.handler
+		if rt.Deprecated {
+			h = deprecationHeaders(h)
+		}
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, h)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"mass/internal/crawler"
 	"mass/internal/influence"
 	"mass/internal/lexicon"
+	"mass/internal/query"
 	"mass/internal/recommend"
 	"mass/internal/synth"
 	"mass/internal/textutil"
@@ -67,6 +68,15 @@ type System struct {
 	result     *influence.Result
 	adRec      *advert.Recommender
 	persRec    *recommend.Recommender
+	// seq is the analysis generation this System belongs to (1 for
+	// one-shot systems; the engine's snapshot seq when live), so query
+	// memoization is always keyed by the right generation no matter how
+	// the System is reached.
+	seq uint64
+	// queries memoizes executed queries per (seq, normalized query). The
+	// cache outlives the System when an Engine shares it across
+	// generations; its seq-based eviction keeps only the live generation.
+	queries *query.Cache
 }
 
 // buildClassifier resolves the classifier to use: the explicit one, or a
@@ -87,7 +97,7 @@ func (o Options) buildClassifier() (classify.Classifier, error) {
 // facet-cached through cache when non-nil — and assembles the query-side
 // recommenders. It is the shared build step behind FromCorpus (cold, once)
 // and Engine (incremental, repeatedly).
-func newSystem(c *blog.Corpus, opts Options, cl classify.Classifier, an *influence.Analyzer, prev *influence.Result, cache *influence.Cache) (*System, error) {
+func newSystem(c *blog.Corpus, opts Options, cl classify.Classifier, an *influence.Analyzer, prev *influence.Result, cache *influence.Cache, seq uint64, queries *query.Cache) (*System, error) {
 	res, err := an.AnalyzeCached(c, prev, cache)
 	if err != nil {
 		return nil, err
@@ -100,6 +110,9 @@ func newSystem(c *blog.Corpus, opts Options, cl classify.Classifier, an *influen
 	if err != nil {
 		return nil, err
 	}
+	if queries == nil {
+		queries = query.NewCache()
+	}
 	return &System{
 		opts:       opts,
 		corpus:     c,
@@ -107,6 +120,8 @@ func newSystem(c *blog.Corpus, opts Options, cl classify.Classifier, an *influen
 		result:     res,
 		adRec:      adRec,
 		persRec:    persRec,
+		seq:        seq,
+		queries:    queries,
 	}, nil
 }
 
@@ -123,7 +138,7 @@ func FromCorpus(c *blog.Corpus, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newSystem(c, opts, cl, an, nil, nil)
+	return newSystem(c, opts, cl, an, nil, nil, 1, nil)
 }
 
 // LoadFile builds a System from an XML snapshot produced by SaveCorpus or
@@ -157,6 +172,21 @@ func (s *System) Result() *influence.Result { return s.result }
 
 // Classifier exposes the post classifier in use.
 func (s *System) Classifier() classify.Classifier { return s.classifier }
+
+// Query executes a composable query (package query) against this
+// analyzed generation — the canonical read path: filter, order, project,
+// paginate and aggregate over the influence facets without touching the
+// result's internals. Results are memoized per (generation, normalized
+// query); the System carries its own generation, so the promoted method
+// on a live Snapshot is keyed correctly too.
+func (s *System) Query(q *query.Query) (*query.Result, error) {
+	return s.queries.Get(s.seq, q, func(n *query.Query) (*query.Result, error) {
+		return query.Execute(s.corpus, s.result, n)
+	})
+}
+
+// QueryCache exposes the query memo (observability and tests).
+func (s *System) QueryCache() *query.Cache { return s.queries }
 
 // TopInfluential returns the k most influential bloggers overall (the
 // "General" ranking).

@@ -12,6 +12,7 @@ import (
 	"mass/internal/blogserver"
 	"mass/internal/classify"
 	"mass/internal/influence"
+	"mass/internal/query"
 )
 
 // EngineOptions configures a live Engine.
@@ -120,6 +121,10 @@ type Engine struct {
 	// It is touched exclusively under analyzeSem; stale entries evict
 	// automatically when posts disappear from the corpus.
 	cache *influence.Cache
+	// qcache is the query memo shared across generations: entries are
+	// keyed by (seq, normalized query), and storing a result for a new
+	// generation evicts the stale one's entries.
+	qcache *query.Cache
 
 	snap atomic.Pointer[Snapshot]
 
@@ -161,6 +166,7 @@ func NewEngine(c *blog.Corpus, opts EngineOptions) (*Engine, error) {
 		cl:         cl,
 		an:         an,
 		cache:      influence.NewCache(),
+		qcache:     query.NewCache(),
 		corpus:     c,
 		analyzeSem: make(chan struct{}, 1),
 		kick:       make(chan struct{}, 1),
@@ -633,17 +639,17 @@ func (e *Engine) publish(frozen *blog.Corpus, total uint64) error {
 // more mutations land during the analysis.
 func (e *Engine) publishWarm(frozen *blog.Corpus, total uint64, prev *influence.Result) error {
 	t0 := time.Now()
-	sys, err := newSystem(frozen, e.opts.Options, e.cl, e.an, prev, e.cache)
+	seq := uint64(1)
+	if s := e.snap.Load(); s != nil {
+		seq = s.Seq + 1
+	}
+	sys, err := newSystem(frozen, e.opts.Options, e.cl, e.an, prev, e.cache, seq, e.qcache)
 	if err != nil {
 		return err
 	}
-	var seq uint64
-	if s := e.snap.Load(); s != nil {
-		seq = s.Seq
-	}
 	e.snap.Store(&Snapshot{
 		System:    sys,
-		Seq:       seq + 1,
+		Seq:       seq,
 		Mutations: total,
 		Elapsed:   time.Since(t0),
 	})

@@ -129,6 +129,23 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 	// (commenter index, SF/TC) pairs the solver sweeps over. ---
 	sf, reusedSent := a.sentimentFactors(c, posts, cache)
 	res.ReusedSentiments = reusedSent
+	res.postSentiment = make([]float64, len(posts))
+	for i, pid := range posts {
+		n := len(c.Posts[pid].Comments)
+		if n == 0 {
+			continue
+		}
+		if sf == nil {
+			// Sentiment ignored: every comment counts as SF = 1.
+			res.postSentiment[i] = 1
+			continue
+		}
+		var sum float64
+		for _, s := range sf[i] {
+			sum += s
+		}
+		res.postSentiment[i] = sum / float64(n)
+	}
 	type commentRef struct {
 		commenter int
 		weight    float64 // SF / TC(b_j); with IgnoreCitation, just SF
@@ -227,12 +244,19 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 		}
 	}
 
+	res.bloggerInf = inf
+	res.bloggerAP = make([]float64, len(bloggers))
+	res.bloggerGL = gl
+	res.postInf = postInf
+	res.postQuality = quality
+	res.postNovelty = nov
 	for i, id := range bloggers {
 		res.BloggerScores[id] = inf[i]
 		ap := 0.0
 		for _, pi := range authorPosts[i] {
 			ap += postInf[pi]
 		}
+		res.bloggerAP[i] = ap
 		res.AP[id] = ap
 	}
 	for i, pid := range posts {

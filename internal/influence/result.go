@@ -59,6 +59,17 @@ type Result struct {
 	postDomains  []float64 // len(posts) × domains.Len()
 	domainScores []float64 // len(bloggers) × domains.Len()
 
+	// Dense per-entity facet vectors, aligned with bloggers/posts. They
+	// duplicate the public maps so index-aware consumers (package query)
+	// can scan without hashing; AnalyzeDecayed keeps them in sync.
+	bloggerInf    []float64
+	bloggerAP     []float64
+	bloggerGL     []float64
+	postInf       []float64
+	postQuality   []float64
+	postNovelty   []float64
+	postSentiment []float64 // mean comment SF per post; 0 with no comments
+
 	// Lazily precomputed rankings (once per Result, i.e. once per
 	// published snapshot).
 	rankOnce    sync.Once
@@ -275,6 +286,79 @@ func (r *Result) TopKGeneral(k int) []blog.BloggerID {
 // by Inf(b, C_t).
 func (r *Result) TopKDomain(domain string, k int) []blog.BloggerID {
 	return entriesToBloggerIDs(r.TopDomain(domain, k))
+}
+
+// DenseView is a read-only window onto the result's dense slabs, for
+// index-aware executors (package query) that scan entities by position
+// instead of hashing IDs. All slices are aligned: Influence[i] belongs to
+// Bloggers[i], PostScore[j] to Posts[j], and the domain slabs are
+// row-major [entity][domain] with stride len(Domains). Slices are shared
+// with the Result — callers must treat them as immutable.
+type DenseView struct {
+	Bloggers []blog.BloggerID
+	Posts    []blog.PostID
+
+	// Per-blogger facets (aligned with Bloggers).
+	Influence, AP, GL []float64
+	// Per-post facets (aligned with Posts). Sentiment is the mean comment
+	// sentiment factor in [0,1] (0 for posts with no comments).
+	PostScore, Quality, Novelty, Sentiment []float64
+
+	// DomainScores is Inf(b, C_t): len(Bloggers) × len(Domains).
+	// PostDomains is iv(b, d_k, C_t): len(Posts) × len(Domains).
+	DomainScores, PostDomains []float64
+	// Domains are the interned domain names in slot order; empty when the
+	// analysis ran without a classifier.
+	Domains []string
+}
+
+// Dense exposes the result's dense slabs. See DenseView for the layout.
+func (r *Result) Dense() DenseView {
+	return DenseView{
+		Bloggers:     r.bloggers,
+		Posts:        r.posts,
+		Influence:    r.bloggerInf,
+		AP:           r.bloggerAP,
+		GL:           r.bloggerGL,
+		PostScore:    r.postInf,
+		Quality:      r.postQuality,
+		Novelty:      r.postNovelty,
+		Sentiment:    r.postSentiment,
+		DomainScores: r.domainScores,
+		PostDomains:  r.postDomains,
+		Domains:      r.Domains(),
+	}
+}
+
+// DomainSlot resolves a domain name to its dense slot in the slabs of
+// Dense(). The second return is false for unknown domains (or when no
+// classifier ran).
+func (r *Result) DomainSlot(name string) (int, bool) {
+	if r.domains == nil {
+		return 0, false
+	}
+	return r.domains.lookup(name)
+}
+
+// BloggerIndex resolves a blogger ID to its dense row index.
+func (r *Result) BloggerIndex(id blog.BloggerID) (int, bool) {
+	i, ok := r.bloggerIdx[id]
+	return i, ok
+}
+
+// PostIndex resolves a post ID to its dense row index.
+func (r *Result) PostIndex(id blog.PostID) (int, bool) {
+	i, ok := r.postIdx[id]
+	return i, ok
+}
+
+// PostSentiment returns the mean comment sentiment factor of one post
+// (0 for posts with no comments or unknown IDs).
+func (r *Result) PostSentiment(pid blog.PostID) float64 {
+	if i, ok := r.postIdx[pid]; ok && i < len(r.postSentiment) {
+		return r.postSentiment[i]
+	}
+	return 0
 }
 
 func entriesToBloggerIDs(entries []rank.Entry) []blog.BloggerID {

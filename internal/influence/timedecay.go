@@ -71,15 +71,19 @@ func (a *Analyzer) AnalyzeDecayed(c *blog.Corpus, dc DecayConfig) (*Result, erro
 	// exact when decay weights are uniform.
 	for i, pid := range posts {
 		res.PostScores[pid] *= w[i]
+		res.postInf[i] = res.PostScores[pid]
 	}
 	alpha := a.cfg.Alpha
-	for b := range res.BloggerScores {
+	for bi, b := range res.bloggers {
 		var ap float64
 		for _, pid := range c.PostsBy(b) {
 			ap += res.PostScores[pid]
 		}
 		res.AP[b] = ap
 		res.BloggerScores[b] = alpha*ap + (1-alpha)*res.GL[b]
+		// Keep the dense facet vectors consistent with the maps.
+		res.bloggerAP[bi] = ap
+		res.bloggerInf[bi] = res.BloggerScores[b]
 	}
 	if a.classifier != nil {
 		// Re-aggregate Eq. 5 over the dense slabs with the decayed post

@@ -1,0 +1,90 @@
+package query
+
+import "sync"
+
+// cacheKey identifies one memoizable execution: the analysis generation
+// plus the normalized query serialization.
+type cacheKey struct {
+	seq  uint64
+	norm string
+}
+
+// maxCacheEntries bounds the memo. Unlike the trend cache, whose key
+// space is a pair of capped integers, the query key space is arbitrary
+// client-controlled JSON — without a cap, a static server (whose seq
+// never moves, so stale-seq eviction never fires) could be grown without
+// bound by distinct queries. At the cap, arbitrary entries are dropped:
+// this is a memo, losing one only costs a recompute.
+const maxCacheEntries = 1024
+
+// Cache memoizes executed queries per (snapshot seq, normalized query),
+// in the spirit of the API layer's trend cache: repeated identical
+// queries against one generation cost a map lookup; when a newer
+// generation shows up, the stale generation's entries are evicted on the
+// next store. Cached *Results are shared — callers must not mutate them.
+type Cache struct {
+	mu       sync.Mutex
+	entries  map[cacheKey]*Result
+	computes int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+// Get returns the cached result for (seq, q), computing and storing it on
+// a miss. The query is normalized first, so differently-spelled equal
+// queries share one entry; a query that fails validation is never cached.
+func (c *Cache) Get(seq uint64, q *Query, compute func(n *Query) (*Result, error)) (*Result, error) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	norm, err := n.Key()
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey{seq: seq, norm: norm}
+	c.mu.Lock()
+	if res, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.computes++
+	c.mu.Unlock()
+	// Execute outside the lock: a slow scan must not block cached reads.
+	// Concurrent first queries may duplicate work once; both compute the
+	// same deterministic result.
+	res, err := compute(n)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[cacheKey]*Result)
+	}
+	// Evict strictly older generations only: a late store from a reader
+	// still pinning an old snapshot must not wipe the live generation's
+	// memo (the entry cap bounds whatever old pins keep inserting).
+	for k := range c.entries {
+		if k.seq < seq {
+			delete(c.entries, k)
+		}
+	}
+	for k := range c.entries {
+		if len(c.entries) < maxCacheEntries {
+			break
+		}
+		delete(c.entries, k)
+	}
+	c.entries[key] = res
+	c.mu.Unlock()
+	return res, nil
+}
+
+// Computes reports the number of cache misses so far (for tests and
+// metrics).
+func (c *Cache) Computes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.computes
+}

@@ -1,0 +1,676 @@
+package query
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"mass/internal/blog"
+	"mass/internal/influence"
+	"mass/internal/rank"
+)
+
+// Row is one result row: the entity ID, the value of the primary sort key
+// (the aggregate value for aggregated queries), and any projected fields.
+type Row struct {
+	ID     string             `json:"id"`
+	Score  float64            `json:"score"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// Result is an executed query.
+type Result struct {
+	Entity Entity `json:"entity"`
+	Rows   []Row  `json:"rows"`
+	// Total is the number of entities matching the filter (the number of
+	// domain rows for aggregated queries), before pagination.
+	Total int `json:"total"`
+	// Plan names the executor that answered the query:
+	// "ranked/general" and "ranked/domain" serve from the snapshot's
+	// precomputed rankings; "scan/*" is the dense filtered top-k scan;
+	// "aggregate" and "domains" are the per-domain aggregators.
+	Plan string `json:"plan"`
+}
+
+// Execute plans and runs q against one analyzed generation. It validates
+// and normalizes q first, so any *Query — hand-built, builder-built or
+// decoded — is accepted. The corpus and result must belong to the same
+// snapshot.
+func Execute(c *blog.Corpus, res *influence.Result, q *Query) (*Result, error) {
+	if c == nil || res == nil {
+		return nil, fmt.Errorf("query: corpus and result required")
+	}
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	v := &view{c: c, res: res, d: res.Dense(), entity: n.Entity}
+	switch {
+	case n.Entity == EntityDomains:
+		return execDomains(v, n)
+	case n.Aggregate != nil:
+		return execAggregate(v, n)
+	}
+	if plan := rankedPlan(v, n); plan != "" {
+		return execRanked(v, n, plan)
+	}
+	return execScan(v, n)
+}
+
+// ------------------------------------------------------------------ view
+
+// view binds one snapshot's dense slabs plus the corpus-side facets the
+// slabs do not carry (post structs, per-author post counts).
+type view struct {
+	c      *blog.Corpus
+	res    *influence.Result
+	d      influence.DenseView
+	entity Entity
+
+	postPtrs []*blog.Post // lazily resolved, aligned with d.Posts
+}
+
+// posts resolves the post structs once; costs one slice, never a map.
+func (v *view) posts() []*blog.Post {
+	if v.postPtrs == nil {
+		v.postPtrs = make([]*blog.Post, len(v.d.Posts))
+		for i, pid := range v.d.Posts {
+			v.postPtrs[i] = v.c.Posts[pid]
+		}
+	}
+	return v.postPtrs
+}
+
+func (v *view) count() int {
+	if v.entity == EntityPosts {
+		return len(v.d.Posts)
+	}
+	return len(v.d.Bloggers)
+}
+
+func (v *view) id(i int) string {
+	if v.entity == EntityPosts {
+		return string(v.d.Posts[i])
+	}
+	return string(v.d.Bloggers[i])
+}
+
+// timeKey projects a time onto the comparable float axis used for posted
+// predicates and ordering (seconds, with sub-second fraction).
+func timeKey(sec int64, nsec int) float64 {
+	return float64(sec) + float64(nsec)*1e-9
+}
+
+func zeroGetter(int) float64 { return 0 }
+
+// window applies the query's offset/limit to an ordered slice — the one
+// pagination implementation every executor shares.
+func window[T any](s []T, offset, limit int) []T {
+	if offset >= len(s) {
+		return nil
+	}
+	s = s[offset:]
+	if len(s) > limit {
+		s = s[:limit]
+	}
+	return s
+}
+
+// interestGetter compiles the weighted dot product over a dense domain
+// slab, mirroring influence.Result.InterestScores term order exactly so
+// query-ranked advert results are bit-identical to the legacy path.
+func interestGetter(slab []float64, domains []string, weights map[string]float64) func(int) float64 {
+	nd := len(domains)
+	if nd == 0 || len(slab) == 0 {
+		return zeroGetter
+	}
+	w := make([]float64, nd)
+	for di, name := range domains {
+		w[di] = weights[name]
+	}
+	return func(i int) float64 {
+		row := slab[i*nd : (i+1)*nd]
+		var dot float64
+		for di, s := range row {
+			dot += s * w[di]
+		}
+		return dot
+	}
+}
+
+func slotGetter(slab []float64, nd int, slot int) func(int) float64 {
+	if nd == 0 || len(slab) == 0 {
+		return zeroGetter
+	}
+	return func(i int) float64 { return slab[i*nd+slot] }
+}
+
+// numGetter compiles a numeric facet accessor for the view's entity.
+func (v *view) numGetter(f Field) (func(int) float64, error) {
+	d := v.d
+	nd := len(d.Domains)
+	if f.Name == FieldInterest {
+		if v.entity == EntityPosts {
+			return interestGetter(d.PostDomains, d.Domains, f.Weights), nil
+		}
+		return interestGetter(d.DomainScores, d.Domains, f.Weights), nil
+	}
+	if name, ok := strings.CutPrefix(f.Name, "domain:"); ok {
+		slot, known := v.res.DomainSlot(name)
+		if !known {
+			return zeroGetter, nil
+		}
+		if v.entity == EntityPosts {
+			return slotGetter(d.PostDomains, nd, slot), nil
+		}
+		return slotGetter(d.DomainScores, nd, slot), nil
+	}
+	if v.entity == EntityBloggers {
+		switch f.Name {
+		case FieldInfluence:
+			return func(i int) float64 { return d.Influence[i] }, nil
+		case FieldAP:
+			return func(i int) float64 { return d.AP[i] }, nil
+		case FieldGL:
+			return func(i int) float64 { return d.GL[i] }, nil
+		case FieldPosts:
+			c := v.c
+			return func(i int) float64 { return float64(len(c.PostsBy(d.Bloggers[i]))) }, nil
+		}
+	} else {
+		switch f.Name {
+		case FieldInfluence:
+			return func(i int) float64 { return d.PostScore[i] }, nil
+		case FieldQuality:
+			return func(i int) float64 { return d.Quality[i] }, nil
+		case FieldNovelty:
+			return func(i int) float64 { return d.Novelty[i] }, nil
+		case FieldSentiment:
+			return func(i int) float64 { return d.Sentiment[i] }, nil
+		case FieldComments:
+			posts := v.posts()
+			return func(i int) float64 { return float64(len(posts[i].Comments)) }, nil
+		case FieldPosted:
+			posts := v.posts()
+			return func(i int) float64 {
+				t := posts[i].Posted
+				return timeKey(t.Unix(), t.Nanosecond())
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("query: field %q has no %s accessor", f.Name, v.entity)
+}
+
+func (v *view) strGetter(f Field) (func(int) string, error) {
+	if v.entity == EntityPosts && f.Name == FieldAuthor {
+		posts := v.posts()
+		return func(i int) string { return string(posts[i].Author) }, nil
+	}
+	return nil, fmt.Errorf("query: field %q has no string accessor", f.Name)
+}
+
+// ------------------------------------------------------------ predicates
+
+// getters abstracts facet resolution so the same predicate compiler
+// serves entity scans and domain-row filtering.
+type getters interface {
+	numGetter(f Field) (func(int) float64, error)
+	strGetter(f Field) (func(int) string, error)
+}
+
+func compilePredicate(g getters, p *Predicate) (func(int) bool, error) {
+	if p == nil {
+		return nil, nil
+	}
+	switch {
+	case len(p.And) > 0:
+		kids, err := compileAll(g, p.And)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) bool {
+			for _, k := range kids {
+				if !k(i) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case len(p.Or) > 0:
+		kids, err := compileAll(g, p.Or)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) bool {
+			for _, k := range kids {
+				if k(i) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case p.Not != nil:
+		kid, err := compilePredicate(g, p.Not)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) bool { return !kid(i) }, nil
+	case p.Cmp != nil:
+		return compileComparison(g, p.Cmp)
+	}
+	return nil, fmt.Errorf("query: empty predicate node")
+}
+
+func compileAll(g getters, ps []*Predicate) ([]func(int) bool, error) {
+	out := make([]func(int) bool, len(ps))
+	for i, p := range ps {
+		k, err := compilePredicate(g, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = k
+	}
+	return out, nil
+}
+
+func compileComparison(g getters, c *Comparison) (func(int) bool, error) {
+	if c.Kind == kindString {
+		get, err := g.strGetter(c.Field)
+		if err != nil {
+			return nil, err
+		}
+		want := c.Str
+		if c.Op == OpEq {
+			return func(i int) bool { return get(i) == want }, nil
+		}
+		return func(i int) bool { return get(i) != want }, nil
+	}
+	get, err := g.numGetter(c.Field)
+	if err != nil {
+		return nil, err
+	}
+	want := c.Num
+	if c.Kind == kindTime {
+		want = timeKey(c.Time.Unix(), c.Time.Nanosecond())
+	}
+	switch c.Op {
+	case OpEq:
+		return func(i int) bool { return get(i) == want }, nil
+	case OpNe:
+		return func(i int) bool { return get(i) != want }, nil
+	case OpLt:
+		return func(i int) bool { return get(i) < want }, nil
+	case OpLe:
+		return func(i int) bool { return get(i) <= want }, nil
+	case OpGt:
+		return func(i int) bool { return get(i) > want }, nil
+	default:
+		return func(i int) bool { return get(i) >= want }, nil
+	}
+}
+
+// -------------------------------------------------------------- ordering
+
+type sortKey struct {
+	get  func(int) float64
+	desc bool
+}
+
+func compileOrders(g getters, orders []Order) ([]sortKey, error) {
+	keys := make([]sortKey, len(orders))
+	for i, o := range orders {
+		get, err := g.numGetter(o.Field)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = sortKey{get: get, desc: o.Desc}
+	}
+	return keys, nil
+}
+
+// compareKeys ranks two entity indices under the sort keys alone; 0 on a
+// full tie.
+func compareKeys(keys []sortKey, a, b int) int {
+	for _, k := range keys {
+		va, vb := k.get(a), k.get(b)
+		if va == vb {
+			continue
+		}
+		if (va > vb) == k.desc {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// compareIdx is compareKeys with ties broken by ascending index, which is
+// ascending ID for the sorted dense entity lists — the same total order
+// rank.TopK uses.
+func compareIdx(keys []sortKey, a, b int) int {
+	if c := compareKeys(keys, a, b); c != 0 {
+		return c
+	}
+	return a - b
+}
+
+// selectTop streams indices [0, n) through the filter and keeps the k
+// best under less in a bounded binary heap (worst kept at the root). It
+// reports the kept indices (unsorted) and the total match count. No maps,
+// no per-entity allocation.
+func selectTop(n, k int, match func(int) bool, less func(a, b int) bool) (kept []int, total int) {
+	worse := func(a, b int) bool { return less(b, a) }
+	h := make([]int, 0, max(k, 0))
+	for i := 0; i < n; i++ {
+		if match != nil && !match(i) {
+			continue
+		}
+		total++
+		if len(h) < k {
+			h = append(h, i)
+			// Sift up: keep the worst at the root.
+			c := len(h) - 1
+			for c > 0 {
+				p := (c - 1) / 2
+				if !worse(h[c], h[p]) {
+					break
+				}
+				h[p], h[c] = h[c], h[p]
+				c = p
+			}
+			continue
+		}
+		if k == 0 || !less(i, h[0]) {
+			continue
+		}
+		h[0] = i
+		// Sift down.
+		p := 0
+		for {
+			c := 2*p + 1
+			if c >= len(h) {
+				break
+			}
+			if c+1 < len(h) && worse(h[c+1], h[c]) {
+				c++
+			}
+			if !worse(h[c], h[p]) {
+				break
+			}
+			h[p], h[c] = h[c], h[p]
+			p = c
+		}
+	}
+	return h, total
+}
+
+// ------------------------------------------------------------- executors
+
+// projection is the compiled select list.
+type projection struct {
+	names []string
+	gets  []func(int) float64
+}
+
+func compileProjection(g getters, sel []string) (*projection, error) {
+	if len(sel) == 0 {
+		return nil, nil
+	}
+	pr := &projection{names: sel, gets: make([]func(int) float64, len(sel))}
+	for i, name := range sel {
+		get, err := g.numGetter(Field{Name: name})
+		if err != nil {
+			return nil, err
+		}
+		pr.gets[i] = get
+	}
+	return pr, nil
+}
+
+func (pr *projection) fields(i int) map[string]float64 {
+	if pr == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(pr.names))
+	for j, name := range pr.names {
+		out[name] = pr.gets[j](i)
+	}
+	return out
+}
+
+// rankedPlan reports the precomputed-ranking fast path serving q, or ""
+// when a scan is needed: an unfiltered blogger query ordered by a single
+// descending influence or domain-score key.
+func rankedPlan(v *view, n *Query) string {
+	if v.entity != EntityBloggers || n.Where != nil || len(n.OrderBy) != 1 {
+		return ""
+	}
+	o := n.OrderBy[0]
+	if !o.Desc || len(o.Field.Weights) > 0 {
+		return ""
+	}
+	if o.Field.Name == FieldInfluence {
+		return "ranked/general"
+	}
+	if strings.HasPrefix(o.Field.Name, "domain:") && len(v.d.Domains) > 0 {
+		return "ranked/domain"
+	}
+	return ""
+}
+
+func execRanked(v *view, n *Query, plan string) (*Result, error) {
+	pr, err := compileProjection(v, n.Select)
+	if err != nil {
+		return nil, err
+	}
+	k := n.Offset + n.Limit
+	var entries []rank.Entry
+	if plan == "ranked/general" {
+		entries = v.res.TopGeneral(k)
+	} else {
+		name := strings.TrimPrefix(n.OrderBy[0].Field.Name, "domain:")
+		entries = v.res.TopDomain(name, k)
+	}
+	entries = window(entries, n.Offset, n.Limit)
+	rows := make([]Row, 0, len(entries))
+	for _, e := range entries {
+		row := Row{ID: e.ID, Score: e.Score}
+		if pr != nil {
+			if bi, ok := v.res.BloggerIndex(blog.BloggerID(e.ID)); ok {
+				row.Fields = pr.fields(bi)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return &Result{Entity: n.Entity, Rows: rows, Total: len(v.d.Bloggers), Plan: plan}, nil
+}
+
+func execScan(v *view, n *Query) (*Result, error) {
+	match, err := compilePredicate(v, n.Where)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := compileOrders(v, n.OrderBy)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := compileProjection(v, n.Select)
+	if err != nil {
+		return nil, err
+	}
+	N := v.count()
+	k := n.Offset + n.Limit
+	if k > N {
+		k = N
+	}
+	less := func(a, b int) bool { return compareIdx(keys, a, b) < 0 }
+	kept, total := selectTop(N, k, match, less)
+	slices.SortFunc(kept, func(a, b int) int { return compareIdx(keys, a, b) })
+	kept = window(kept, n.Offset, n.Limit)
+	rows := make([]Row, 0, len(kept))
+	primary := keys[0].get
+	for _, i := range kept {
+		rows = append(rows, Row{ID: v.id(i), Score: primary(i), Fields: pr.fields(i)})
+	}
+	return &Result{Entity: n.Entity, Rows: rows, Total: total, Plan: "scan/" + string(n.Entity)}, nil
+}
+
+func execAggregate(v *view, n *Query) (*Result, error) {
+	match, err := compilePredicate(v, n.Where)
+	if err != nil {
+		return nil, err
+	}
+	var fieldGet func(int) float64
+	if n.Aggregate.Field != "" {
+		if fieldGet, err = v.numGetter(Field{Name: n.Aggregate.Field}); err != nil {
+			return nil, err
+		}
+	}
+	d := v.d
+	nd := len(d.Domains)
+	slab := d.DomainScores
+	if v.entity == EntityPosts {
+		slab = d.PostDomains
+	}
+	counts := make([]float64, nd)
+	sums := make([]float64, nd)
+	N := v.count()
+	for i := 0; i < N; i++ {
+		if match != nil && !match(i) {
+			continue
+		}
+		var fv float64
+		if fieldGet != nil {
+			fv = fieldGet(i)
+		}
+		row := slab[i*nd : (i+1)*nd]
+		for di, w := range row {
+			if w == 0 {
+				continue
+			}
+			counts[di]++
+			if fieldGet != nil {
+				sums[di] += fv
+			} else {
+				sums[di] += w
+			}
+		}
+	}
+	values := make([]float64, nd)
+	for di := range values {
+		switch n.Aggregate.Op {
+		case AggCount:
+			values[di] = counts[di]
+		case AggSum:
+			values[di] = sums[di]
+		default: // mean
+			if counts[di] > 0 {
+				values[di] = sums[di] / counts[di]
+			}
+		}
+	}
+	rows := domainRows(d.Domains, values, n)
+	return &Result{Entity: n.Entity, Rows: rows, Total: nd, Plan: "aggregate"}, nil
+}
+
+// domainView adapts per-domain value arrays to the predicate compiler.
+type domainView struct {
+	fields map[string][]float64
+}
+
+func (v *domainView) numGetter(f Field) (func(int) float64, error) {
+	vals, ok := v.fields[f.Name]
+	if !ok {
+		return nil, fmt.Errorf("query: field %q has no domain accessor", f.Name)
+	}
+	return func(i int) float64 { return vals[i] }, nil
+}
+
+func (v *domainView) strGetter(f Field) (func(int) string, error) {
+	return nil, fmt.Errorf("query: field %q has no string accessor", f.Name)
+}
+
+func execDomains(v *view, n *Query) (*Result, error) {
+	d := v.d
+	nd := len(d.Domains)
+	counts := make([]float64, nd)
+	sums := make([]float64, nd)
+	means := make([]float64, nd)
+	for bi := 0; bi < len(d.Bloggers); bi++ {
+		row := d.DomainScores[bi*nd : (bi+1)*nd]
+		for di, s := range row {
+			if s != 0 {
+				counts[di]++
+				sums[di] += s
+			}
+		}
+	}
+	for di := range means {
+		if counts[di] > 0 {
+			means[di] = sums[di] / counts[di]
+		}
+	}
+	dv := &domainView{fields: map[string][]float64{
+		FieldCount: counts,
+		FieldSum:   sums,
+		FieldMean:  means,
+	}}
+	match, err := compilePredicate(dv, n.Where)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := compileOrders(dv, n.OrderBy)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := compileProjection(dv, n.Select)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, 0, nd)
+	for di := 0; di < nd; di++ {
+		if match == nil || match(di) {
+			idx = append(idx, di)
+		}
+	}
+	total := len(idx)
+	// Domain slots are interning order, not name order, so ties break by
+	// name, not index.
+	slices.SortFunc(idx, func(a, b int) int {
+		if c := compareKeys(keys, a, b); c != 0 {
+			return c
+		}
+		return strings.Compare(d.Domains[a], d.Domains[b])
+	})
+	idx = window(idx, n.Offset, n.Limit)
+	rows := make([]Row, 0, len(idx))
+	primary := keys[0].get
+	for _, di := range idx {
+		rows = append(rows, Row{ID: d.Domains[di], Score: primary(di), Fields: pr.fields(di)})
+	}
+	return &Result{Entity: n.Entity, Rows: rows, Total: total, Plan: "domains"}, nil
+}
+
+// domainRows orders per-domain values descending (name ascending on
+// ties) and paginates — the tail of the aggregate executor.
+func domainRows(names []string, values []float64, n *Query) []Row {
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortFunc(idx, func(a, b int) int {
+		if values[a] != values[b] {
+			if values[a] > values[b] {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(names[a], names[b])
+	})
+	idx = window(idx, n.Offset, n.Limit)
+	rows := make([]Row, 0, len(idx))
+	for _, i := range idx {
+		rows = append(rows, Row{ID: names[i], Score: values[i]})
+	}
+	return rows
+}

@@ -1,0 +1,77 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"mass/internal/blog"
+	"mass/internal/influence"
+)
+
+// fuzzFixture is a tiny analyzed corpus (no classifier, so it is cheap)
+// used to execute whatever the fuzzer manages to decode.
+var (
+	fuzzOnce sync.Once
+	fuzzC    *blog.Corpus
+	fuzzRes  *influence.Result
+)
+
+func fuzzFixture() (*blog.Corpus, *influence.Result) {
+	fuzzOnce.Do(func() {
+		fuzzC = blog.Figure1Corpus()
+		an, err := influence.NewAnalyzer(influence.Config{}, nil)
+		if err != nil {
+			panic(err)
+		}
+		fuzzRes, err = an.Analyze(fuzzC)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fuzzC, fuzzRes
+}
+
+// FuzzDecode is the decoder's robustness contract: any byte soup either
+// decodes into a query that executes cleanly, or fails with an error —
+// it must never panic. (The API layer surfaces those errors as 400
+// invalid_query.)
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"entity":"bloggers"}`,
+		`{"entity":"posts","limit":3}`,
+		`{"entity":"domains","select":["count","mean"]}`,
+		`{"entity":"bloggers","where":{"field":"influence","op":"gt","value":0.5}}`,
+		`{"entity":"bloggers","where":{"and":[{"field":"gl","op":"ge","value":0},{"not":{"field":"posts","op":"lt","value":1}}]}}`,
+		`{"entity":"bloggers","orderBy":[{"field":"interest","weights":{"Sports":0.5,"Travel":0.5},"desc":true}]}`,
+		`{"entity":"posts","where":{"field":"posted","op":"ge","value":"2009-06-01T00:00:00Z"}}`,
+		`{"entity":"posts","where":{"field":"author","op":"eq","value":"Amery"}}`,
+		`{"entity":"posts","aggregate":{"op":"mean","field":"novelty"}}`,
+		`{"entity":"bloggers","where":{"or":[]}}`,
+		`{"entity":"bloggers","where":{"field":"domain:Sports","op":"ge","value":1e308}}`,
+		`{"entity":"bloggers","where":{"field":"influence","op":"gt","value":1e400}}`,
+		`{"entity":"bloggers","limit":-5,"offset":-1}`,
+		`{"entity":"bloggers","limit":999999999,"offset":999999999}`,
+		`{"entity":"bloggers","where":{"not":{"not":{"not":{"field":"ap","op":"ne","value":0}}}}}`,
+		`[1,2,3]`,
+		`"bloggers"`,
+		`{"entity":"bloggers","where":{"field":"influence","op":"gt","value":{}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded query is the decoder's promise that it is
+		// executable: run it to hold the promise (and to catch executor
+		// panics on odd-but-valid input).
+		c, res := fuzzFixture()
+		if _, err := Execute(c, res, q); err != nil {
+			t.Fatalf("decoded query failed to execute: %v\nquery: %s", err, data)
+		}
+	})
+}

@@ -1,0 +1,346 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire shape of the AST. Every field is optional except entity; unknown
+// fields are rejected (DisallowUnknownFields), so a typo in a clause name
+// is a decode error, never a silently ignored filter.
+//
+//	{
+//	  "entity": "bloggers" | "posts" | "domains",
+//	  "where": <predicate>,
+//	  "orderBy": [{"field": "...", "weights": {...}, "desc": true}, ...],
+//	  "select": ["field", ...],
+//	  "limit": N, "offset": N,
+//	  "aggregate": {"op": "count"|"sum"|"mean", "field": "..."}
+//	}
+//
+// A predicate is either a composite — exactly one of
+// {"and": [...]}, {"or": [...]}, {"not": {...}} — or a comparison
+// {"field": "...", "op": "eq|ne|lt|le|gt|ge", "value": ...} where value
+// is a number, an RFC3339 string for "posted", or a plain string for
+// "author". The "interest" field carries {"weights": {domain: weight}}.
+type wireQuery struct {
+	Entity    string      `json:"entity"`
+	Where     *wirePred   `json:"where,omitempty"`
+	OrderBy   []wireOrder `json:"orderBy,omitempty"`
+	Select    []string    `json:"select,omitempty"`
+	Limit     int         `json:"limit,omitempty"`
+	Offset    int         `json:"offset,omitempty"`
+	Aggregate *wireAgg    `json:"aggregate,omitempty"`
+}
+
+type wirePred struct {
+	And []wirePred `json:"and,omitempty"`
+	Or  []wirePred `json:"or,omitempty"`
+	Not *wirePred  `json:"not,omitempty"`
+
+	Field   string             `json:"field,omitempty"`
+	Weights map[string]float64 `json:"weights,omitempty"`
+	Op      string             `json:"op,omitempty"`
+	Value   json.RawMessage    `json:"value,omitempty"`
+}
+
+type wireOrder struct {
+	Field   string             `json:"field"`
+	Weights map[string]float64 `json:"weights,omitempty"`
+	Desc    bool               `json:"desc,omitempty"`
+}
+
+type wireAgg struct {
+	Op    string `json:"op"`
+	Field string `json:"field,omitempty"`
+}
+
+// Decode parses and validates a JSON query. The decoder is strict:
+// unknown fields, trailing data and malformed values are errors, and the
+// returned query is already normalized (defaults applied, fields
+// resolved), so a nil error means the query is executable.
+func Decode(data []byte) (*Query, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w wireQuery
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	if err := requireEOF(dec); err != nil {
+		return nil, err
+	}
+	q, err := w.toQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q.Normalize()
+}
+
+func requireEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("query: trailing data after the query object")
+	}
+	return nil
+}
+
+func (w wireQuery) toQuery() (*Query, error) {
+	q := &Query{
+		Entity: Entity(w.Entity),
+		Select: w.Select,
+		Limit:  w.Limit,
+		Offset: w.Offset,
+	}
+	if w.Where != nil {
+		p, err := w.Where.toPredicate(0)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = p
+	}
+	for _, o := range w.OrderBy {
+		q.OrderBy = append(q.OrderBy, Order{
+			Field: Field{Name: o.Field, Weights: o.Weights},
+			Desc:  o.Desc,
+		})
+	}
+	if w.Aggregate != nil {
+		q.Aggregate = &Aggregate{Op: AggOp(w.Aggregate.Op), Field: w.Aggregate.Field}
+	}
+	return q, nil
+}
+
+func (w *wirePred) toPredicate(depth int) (*Predicate, error) {
+	if depth > maxDepth {
+		return nil, fmt.Errorf("query: predicate nesting deeper than %d", maxDepth)
+	}
+	composite := 0
+	if w.And != nil {
+		composite++
+	}
+	if w.Or != nil {
+		composite++
+	}
+	if w.Not != nil {
+		composite++
+	}
+	leaf := w.Field != "" || w.Op != "" || w.Value != nil || len(w.Weights) > 0
+	if composite > 1 || (composite == 1 && leaf) || (composite == 0 && !leaf) {
+		return nil, fmt.Errorf("query: predicate must be exactly one of and/or/not or a {field, op, value} comparison")
+	}
+	p := &Predicate{}
+	switch {
+	case w.And != nil:
+		for i := range w.And {
+			kid, err := w.And[i].toPredicate(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			p.And = append(p.And, kid)
+		}
+	case w.Or != nil:
+		for i := range w.Or {
+			kid, err := w.Or[i].toPredicate(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			p.Or = append(p.Or, kid)
+		}
+	case w.Not != nil:
+		kid, err := w.Not.toPredicate(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		p.Not = kid
+	default:
+		cmp, err := w.toComparison()
+		if err != nil {
+			return nil, err
+		}
+		p.Cmp = cmp
+	}
+	return p, nil
+}
+
+func (w *wirePred) toComparison() (*Comparison, error) {
+	if w.Field == "" {
+		return nil, fmt.Errorf("query: comparison is missing its field")
+	}
+	if w.Value == nil {
+		return nil, fmt.Errorf("query: comparison on %q is missing its value", w.Field)
+	}
+	c := &Comparison{
+		Field: Field{Name: w.Field, Weights: w.Weights},
+		Op:    Op(w.Op),
+	}
+	// The value's JSON type picks the kind; Normalize later checks it
+	// against what the field expects.
+	var num float64
+	if err := json.Unmarshal(w.Value, &num); err == nil {
+		c.Kind, c.Num = kindNumber, num
+		return c, nil
+	}
+	var s string
+	if err := json.Unmarshal(w.Value, &s); err != nil {
+		return nil, fmt.Errorf("query: value for %q must be a number or a string", w.Field)
+	}
+	if w.Field == FieldPosted {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return nil, fmt.Errorf("query: value for %q must be RFC3339: %v", w.Field, err)
+		}
+		c.Kind, c.Time = kindTime, t
+		return c, nil
+	}
+	c.Kind, c.Str = kindString, s
+	return c, nil
+}
+
+// ----------------------------------------------------------------- encode
+
+// MarshalJSON encodes the query in its wire shape, so a builder-made
+// query can be sent to POST /api/v1/query verbatim (and so Key() has a
+// canonical serialization: encoding/json sorts map keys).
+func (q *Query) MarshalJSON() ([]byte, error) {
+	w := wireQuery{
+		Entity: string(q.Entity),
+		Select: q.Select,
+		Limit:  q.Limit,
+		Offset: q.Offset,
+	}
+	if q.Where != nil {
+		wp, err := fromPredicate(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		w.Where = wp
+	}
+	for _, o := range q.OrderBy {
+		w.OrderBy = append(w.OrderBy, wireOrder{Field: o.Field.Name, Weights: o.Field.Weights, Desc: o.Desc})
+	}
+	if q.Aggregate != nil {
+		w.Aggregate = &wireAgg{Op: string(q.Aggregate.Op), Field: q.Aggregate.Field}
+	}
+	type plain wireQuery // avoid recursing into this method
+	return json.Marshal(plain(w))
+}
+
+func fromPredicate(p *Predicate) (*wirePred, error) {
+	if p == nil {
+		return nil, nil
+	}
+	w := &wirePred{}
+	switch {
+	case len(p.And) > 0:
+		for _, kid := range p.And {
+			wk, err := fromPredicate(kid)
+			if err != nil {
+				return nil, err
+			}
+			w.And = append(w.And, *wk)
+		}
+	case len(p.Or) > 0:
+		for _, kid := range p.Or {
+			wk, err := fromPredicate(kid)
+			if err != nil {
+				return nil, err
+			}
+			w.Or = append(w.Or, *wk)
+		}
+	case p.Not != nil:
+		wk, err := fromPredicate(p.Not)
+		if err != nil {
+			return nil, err
+		}
+		w.Not = wk
+	case p.Cmp != nil:
+		c := p.Cmp
+		w.Field, w.Weights, w.Op = c.Field.Name, c.Field.Weights, string(c.Op)
+		var v any
+		switch c.Kind {
+		case kindTime:
+			v = c.Time.Format(time.RFC3339)
+		case kindString:
+			v = c.Str
+		default:
+			v = c.Num
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		w.Value = raw
+	default:
+		return nil, fmt.Errorf("query: empty predicate node")
+	}
+	return w, nil
+}
+
+// JSONSchema returns a JSON-Schema (draft 2020-12) description of the
+// wire AST, published in the OpenAPI spec for POST /api/v1/query.
+func JSONSchema() map[string]any {
+	num := map[string]any{"type": "number"}
+	weights := map[string]any{
+		"type":                 "object",
+		"description":          "domain → weight vector for the interest field",
+		"additionalProperties": num,
+	}
+	fieldDesc := "facet name: influence|ap|gl|posts (bloggers), influence|quality|novelty|sentiment|comments|posted|author (posts), count|sum|mean (domains), domain:<name>, or interest (with weights)"
+	predicate := map[string]any{
+		"type":        "object",
+		"description": "exactly one of and/or/not, or a {field, op, value} comparison",
+		"properties": map[string]any{
+			"and":     map[string]any{"type": "array", "items": map[string]any{"$ref": "#/$defs/predicate"}},
+			"or":      map[string]any{"type": "array", "items": map[string]any{"$ref": "#/$defs/predicate"}},
+			"not":     map[string]any{"$ref": "#/$defs/predicate"},
+			"field":   map[string]any{"type": "string", "description": fieldDesc},
+			"weights": weights,
+			"op":      map[string]any{"type": "string", "enum": []string{"eq", "ne", "lt", "le", "gt", "ge"}},
+			"value": map[string]any{
+				"description": "number; RFC3339 string for posted; plain string for author (eq/ne only)",
+				"oneOf":       []any{num, map[string]any{"type": "string"}},
+			},
+		},
+		"additionalProperties": false,
+	}
+	order := map[string]any{
+		"type": "object",
+		"properties": map[string]any{
+			"field":   map[string]any{"type": "string", "description": fieldDesc},
+			"weights": weights,
+			"desc":    map[string]any{"type": "boolean"},
+		},
+		"required":             []string{"field"},
+		"additionalProperties": false,
+	}
+	aggregate := map[string]any{
+		"type":        "object",
+		"description": "group the filtered entities per domain",
+		"properties": map[string]any{
+			"op":    map[string]any{"type": "string", "enum": []string{"count", "sum", "mean"}},
+			"field": map[string]any{"type": "string", "description": "aggregated facet; empty means the per-domain weight"},
+		},
+		"required":             []string{"op"},
+		"additionalProperties": false,
+	}
+	return map[string]any{
+		"$schema":     "https://json-schema.org/draft/2020-12/schema",
+		"title":       "MASS query AST",
+		"type":        "object",
+		"description": "One composable query over the analyzed blogosphere; unknown fields are rejected (400 invalid_query).",
+		"properties": map[string]any{
+			"entity":    map[string]any{"type": "string", "enum": []string{"bloggers", "posts", "domains"}},
+			"where":     map[string]any{"$ref": "#/$defs/predicate"},
+			"orderBy":   map[string]any{"type": "array", "items": order},
+			"select":    map[string]any{"type": "array", "items": map[string]any{"type": "string"}},
+			"limit":     map[string]any{"type": "integer", "minimum": 1},
+			"offset":    map[string]any{"type": "integer", "minimum": 0},
+			"aggregate": aggregate,
+		},
+		"required":             []string{"entity"},
+		"additionalProperties": false,
+		"$defs":                map[string]any{"predicate": predicate},
+	}
+}
