@@ -15,8 +15,11 @@ package mass_bench
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -469,6 +472,187 @@ func BenchmarkPageRank(b *testing.B) {
 			b.Fatal("PageRank did not converge")
 		}
 	}
+}
+
+// legacyPageRank is the pre-CSR map-shaped solver, kept verbatim as the
+// benchmark baseline: every call re-sorts the node IDs, rebuilds a
+// map[string]int index and per-node in-neighbor slices, then sweeps, and
+// finally round-trips the scores through a map — the per-flush cost the
+// CSR core amortizes to one build per link epoch.
+func legacyPageRank(g *graph.Directed, damping, epsilon float64, maxIter int) map[string]float64 {
+	nodes := g.SortedNodes()
+	n := len(nodes)
+	if n == 0 {
+		return map[string]float64{}
+	}
+	idx := make(map[string]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	outDeg := make([]int, n)
+	inN := make([][]int, n)
+	for i, id := range nodes {
+		outDeg[i] = g.OutDegree(id)
+		preds := g.In(id)
+		inN[i] = make([]int, len(preds))
+		for j, p := range preds {
+			inN[i][j] = idx[p]
+		}
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for iter := 1; iter <= maxIter; iter++ {
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				dangling += cur[i]
+			}
+		}
+		danglingShare := damping * dangling / float64(n)
+		var delta float64
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range inN[i] {
+				sum += cur[j] / float64(outDeg[j])
+			}
+			next[i] = base + danglingShare + damping*sum
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if delta < epsilon {
+			break
+		}
+	}
+	out := make(map[string]float64, n)
+	for i, id := range nodes {
+		out[id] = cur[i]
+	}
+	return out
+}
+
+// BenchmarkPageRankCSR measures the dense CSR PageRank core against the
+// legacy map-shaped path on a 50k-node / ~500k-edge synthetic link graph
+// with a heavy-tailed in-degree distribution (the blogosphere shape).
+// A "cold" solve is one over a changed link graph — what a flush pays
+// whenever the link epoch moved:
+//
+//	map-legacy        — the full pre-CSR cold path, exactly what computeGL
+//	                    did per changed epoch: rebuild graph.Directed from
+//	                    the edge list (map inserts per edge), then the map
+//	                    solver (per-call sort + index maps + adjacency
+//	                    rebuild + score-map round trip)
+//	map-legacy-solve  — the map solver alone over a prebuilt Directed (a
+//	                    baseline generous to the old code: the old path
+//	                    had no way to reuse the Directed across flushes)
+//	csr-cold          — BuildCSR + serial dense solve from the uniform
+//	                    start (the once-per-link-epoch worst case)
+//	csr-cached-cold   — cached CSR, serial dense solve (a flush whose
+//	                    epoch view is already built)
+//	csr-cached-par    — cached CSR, sweeps edge-partitioned across
+//	                    GOMAXPROCS workers (identical scores, see
+//	                    TestDenseWorkersBitForBit)
+//	csr-warm          — cached CSR + dense warm start from the previous
+//	                    vector (the engine's steady-state flush)
+//
+// The CSR cases run with b.ReportAllocs: the solve allocates a fixed
+// handful of buffers regardless of sweeps (zero allocations inside the
+// sweep loop — asserted by TestSweepLoopAllocFree), so allocs/op is
+// independent of graph size. BENCH_PR5.json records the trajectory.
+func BenchmarkPageRankCSR(b *testing.B) {
+	const nodes = 50_000
+	const edgeDraws = 500_000
+	rng := rand.New(rand.NewSource(2010))
+	zipf := rand.NewZipf(rng, 1.3, 8, nodes-1)
+	ids := make([]string, nodes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("b%05d", i)
+	}
+	type edge struct{ from, to string }
+	edges := make([]edge, 0, edgeDraws)
+	for k := 0; k < edgeDraws; k++ {
+		from := ids[rng.Intn(nodes)]
+		to := ids[int(zipf.Uint64())]
+		if from != to {
+			edges = append(edges, edge{from, to})
+		}
+	}
+	buildDirected := func() *graph.Directed {
+		g := graph.New()
+		for _, id := range ids {
+			g.AddNode(id)
+		}
+		for _, e := range edges {
+			g.AddEdge(e.from, e.to)
+		}
+		return g
+	}
+	g := buildDirected()
+	csr := graph.BuildCSR(g)
+	warm := linkrank.PageRankCSR(csr, linkrank.Options{})
+	if !warm.Converged {
+		b.Fatal("synthetic graph did not converge")
+	}
+	b.Logf("graph: %d nodes, %d edges (deduplicated)", g.NumNodes(), g.NumEdges())
+
+	b.Run("map-legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scores := legacyPageRank(buildDirected(), 0.85, 1e-10, 200)
+			if len(scores) != nodes {
+				b.Fatal("legacy solver lost nodes")
+			}
+		}
+	})
+	b.Run("map-legacy-solve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scores := legacyPageRank(g, 0.85, 1e-10, 200)
+			if len(scores) != nodes {
+				b.Fatal("legacy solver lost nodes")
+			}
+		}
+	})
+	b.Run("csr-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := linkrank.PageRankCSR(graph.BuildCSR(g), linkrank.Options{})
+			if !r.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	})
+	b.Run("csr-cached-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := linkrank.PageRankCSR(csr, linkrank.Options{})
+			if !r.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	})
+	b.Run("csr-cached-par", func(b *testing.B) {
+		b.ReportAllocs()
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			r := linkrank.PageRankCSR(csr, linkrank.Options{Workers: workers})
+			if !r.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	})
+	b.Run("csr-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := linkrank.PageRankCSR(csr, linkrank.Options{WarmDense: warm.Scores})
+			if !r.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	})
 }
 
 // BenchmarkClassifier isolates naive Bayes classification of post bodies.

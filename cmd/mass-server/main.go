@@ -18,7 +18,9 @@
 // Requests run behind the api package's middleware chain (request IDs,
 // structured logging, panic recovery, per-client rate limiting) and the
 // HTTP server enforces read/write/idle timeouts so one stuck client
-// cannot pin a connection forever.
+// cannot pin a connection forever. Pass -pprof localhost:6060 to expose
+// net/http/pprof on a separate private listener for production profiling
+// of the solver and ingest hot paths.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish and
 // pending mutations are folded into a final snapshot.
@@ -31,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener only
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +64,7 @@ func main() {
 		writeTimeout  = flag.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
 		idleTimeout   = flag.Duration("idle-timeout", 2*time.Minute, "HTTP server idle-connection timeout")
 		quiet         = flag.Bool("quiet", false, "disable per-request logging")
+		pprofAddr     = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
 
@@ -99,6 +103,21 @@ func main() {
 			}
 			fmt.Printf("streaming crawl done: %d spaces in %s (depth %d, %d failed)\n",
 				stats.Fetched, stats.Elapsed.Round(time.Millisecond), stats.Depth, stats.Failed)
+		}()
+	}
+
+	if *pprofAddr != "" {
+		// A separate listener keeps the profiling surface (and the default
+		// mux net/http/pprof registers on) off the public API address, so
+		// solver and ingest hot spots are inspectable in production without
+		// exposing /debug/pprof to API clients:
+		//
+		//	go tool pprof http://localhost:6060/debug/pprof/profile
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof: %v", err)
+			}
 		}()
 	}
 

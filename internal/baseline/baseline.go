@@ -18,7 +18,6 @@ import (
 	"math"
 
 	"mass/internal/blog"
-	"mass/internal/graph"
 	"mass/internal/influence"
 	"mass/internal/linkrank"
 	"mass/internal/textutil"
@@ -42,19 +41,15 @@ type LiveIndex struct {
 // Name implements Ranker.
 func (LiveIndex) Name() string { return "Live Index" }
 
-// Rank implements Ranker.
+// Rank implements Ranker. The solve runs on the corpus's cached CSR view
+// of the hyperlink graph (shared with the influence analyzer), so ranking
+// pays only for the PageRank sweeps.
 func (l LiveIndex) Rank(c *blog.Corpus) (map[blog.BloggerID]float64, error) {
-	g := graph.New()
-	for _, id := range c.BloggerIDs() {
-		g.AddNode(string(id))
-	}
-	for _, link := range c.Links {
-		g.AddEdge(string(link.From), string(link.To))
-	}
-	pr := linkrank.PageRank(g, l.Options)
+	csr := c.LinkCSR()
+	pr := linkrank.PageRankCSR(csr, l.Options)
 	out := make(map[blog.BloggerID]float64, len(pr.Scores))
-	for id, s := range pr.Scores {
-		out[blog.BloggerID(id)] = s
+	for i, id := range csr.IDs {
+		out[blog.BloggerID(id)] = pr.Scores[i]
 	}
 	return out, nil
 }

@@ -11,7 +11,10 @@ package blog
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
+
+	"mass/internal/graph"
 )
 
 // BloggerID identifies a blogger uniquely within a corpus.
@@ -82,6 +85,55 @@ type Corpus struct {
 	// mutation lineage with equal epochs therefore have identical link
 	// graphs, which lets an incremental analyzer skip re-running PageRank.
 	linkEpoch uint64
+
+	// linkCSR caches the frozen CSR view of the hyperlink graph for the
+	// current linkEpoch (see LinkCSR). Snapshots inherit the pointer, so
+	// across one epoch the whole lineage builds the view at most once.
+	linkCSR atomic.Pointer[epochCSR]
+}
+
+// epochCSR pins a built CSR to the link epoch it was built at.
+type epochCSR struct {
+	epoch uint64
+	csr   *graph.CSR
+}
+
+// LinkCSR returns the frozen CSR view of the hyperlink graph: nodes are
+// the corpus's bloggers in sorted-ID order (so dense index i is exactly
+// position i of BloggerIDs), edges are the deduplicated Links. The view is
+// built once per link epoch and cached — snapshots taken at the same epoch
+// share it, so a flush whose link graph is unchanged pays nothing here.
+//
+// Like every read method on Corpus, LinkCSR is safe to call concurrently
+// with other reads (snapshots served to query traffic) but not with
+// mutations; the ingestion engine only analyzes frozen snapshots.
+func (c *Corpus) LinkCSR() *graph.CSR {
+	if e := c.linkCSR.Load(); e != nil && e.epoch == c.linkEpoch {
+		return e.csr
+	}
+	bloggers := c.BloggerIDs()
+	ids := make([]string, len(bloggers))
+	idx := make(map[BloggerID]int32, len(bloggers))
+	for i, id := range bloggers {
+		ids[i] = string(id)
+		idx[id] = int32(i)
+	}
+	from := make([]int32, 0, len(c.Links))
+	to := make([]int32, 0, len(c.Links))
+	for _, l := range c.Links {
+		fi, okF := idx[l.From]
+		ti, okT := idx[l.To]
+		if !okF || !okT {
+			// Unknown endpoints can only appear in a corpus that fails
+			// Validate; dropping the edge keeps the view well-formed.
+			continue
+		}
+		from = append(from, fi)
+		to = append(to, ti)
+	}
+	csr := graph.NewCSR(ids, from, to)
+	c.linkCSR.Store(&epochCSR{epoch: c.linkEpoch, csr: csr})
+	return csr
 }
 
 // LinkEpoch returns the corpus's link-graph mutation counter. Snapshots

@@ -48,6 +48,9 @@ func (c *Corpus) Snapshot() *Corpus {
 	for id, in := range c.inLinks {
 		s.inLinks[id] = append(make([]BloggerID, 0, len(in)), in...)
 	}
+	// The snapshot has the same link epoch, so an already-built CSR view of
+	// the hyperlink graph stays valid for it (LinkCSR revalidates by epoch).
+	s.linkCSR.Store(c.linkCSR.Load())
 	return s
 }
 

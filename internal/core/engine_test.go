@@ -12,6 +12,7 @@ import (
 	"mass/internal/blog"
 	"mass/internal/blogserver"
 	"mass/internal/crawler"
+	"mass/internal/linkrank"
 	"mass/internal/synth"
 )
 
@@ -516,5 +517,109 @@ func TestEngineConcurrentIngestWithCachedFlushes(t *testing.T) {
 		if math.Abs(warm.Result().BloggerScores[b]-s) > 1e-9 {
 			t.Fatalf("cached flush diverged for %s: %v vs %v", b, warm.Result().BloggerScores[b], s)
 		}
+	}
+}
+
+// TestEngineConcurrentLinkEpochCSR races link-graph churn against forced
+// and background flushes while readers consume the cached CSR view of
+// whatever snapshot is current: every AddLink (and every stub blogger it
+// admits) bumps the link epoch, every flush freezes a snapshot and either
+// reuses or rebuilds the per-epoch CSR, and the readers run dense PageRank
+// sweeps over views the engine is concurrently superseding. Run with -race.
+func TestEngineConcurrentLinkEpochCSR(t *testing.T) {
+	e := startEngine(t, synthCorpus(t, 85, 25, 100), testEngineOptions())
+	base := e.Current().Corpus().BloggerIDs()
+
+	var writers, loopers sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+
+	const linkers, perLinker = 3, 40
+	for g := 0; g < linkers; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perLinker; i++ {
+				from := base[(g*7+i)%len(base)]
+				to := blog.BloggerID(fmt.Sprintf("csr-hub-%d-%d", g, i%6))
+				if err := e.AddLink(from, to); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	loopers.Add(1)
+	go func() {
+		defer loopers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := e.Refresh(context.Background()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		loopers.Add(1)
+		go func() {
+			defer loopers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := e.Current()
+				csr := s.Corpus().LinkCSR()
+				if err := csr.Validate(); err != nil {
+					errs <- err
+					return
+				}
+				res := linkrank.PageRankCSR(csr, linkrank.Options{
+					Workers: 2, MaxIter: 5, Epsilon: linkrank.ExplicitZero,
+				})
+				if len(res.Scores) != csr.NumNodes() {
+					errs <- fmt.Errorf("csr reader: %d scores for %d nodes", len(res.Scores), csr.NumNodes())
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	loopers.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Fold everything in, then force one more flush over the unchanged
+	// link graph: the GL cache must recognize the epoch and skip PageRank.
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Status()
+	if !st.PageRankSkipped {
+		t.Fatal("flush over an unchanged link graph must skip PageRank")
+	}
+	final := e.Current().Corpus()
+	if err := final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	csr := final.LinkCSR()
+	if csr.NumNodes() != len(final.Bloggers) {
+		t.Fatalf("final CSR has %d nodes, corpus %d bloggers", csr.NumNodes(), len(final.Bloggers))
+	}
+	if want := len(final.Links); csr.NumEdges() != want {
+		t.Fatalf("final CSR has %d edges, corpus records %d", csr.NumEdges(), want)
 	}
 }

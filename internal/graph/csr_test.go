@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildRandom returns a messy directed graph: duplicate AddEdge calls,
+// self-loops, isolated nodes (dangling and disconnected).
+func buildRandom(seed int64, n, e int) *Directed {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("n%03d", i))
+	}
+	nodes := g.Nodes()
+	for i := 0; i < e; i++ {
+		a := nodes[rng.Intn(len(nodes))]
+		b := nodes[rng.Intn(len(nodes))]
+		g.AddEdge(a, b) // self-loops allowed at the graph layer
+		if rng.Intn(4) == 0 {
+			g.AddEdge(a, b) // duplicate, must collapse
+		}
+	}
+	return g
+}
+
+func TestCSRMatchesDirected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := buildRandom(seed, 30, 90)
+		c := g.CSR()
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			t.Fatalf("csr %d nodes / %d edges, graph has %d / %d",
+				c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		prev := ""
+		for i, id := range c.IDs {
+			if i > 0 && id <= prev {
+				t.Fatalf("IDs not strictly sorted at %d: %q after %q", i, id, prev)
+			}
+			prev = id
+			if j, ok := c.Index(id); !ok || j != i {
+				t.Fatalf("Index(%q) = %d,%v, want %d", id, j, ok, i)
+			}
+			if c.OutDegree(i) != g.OutDegree(id) || c.InDegree(i) != g.InDegree(id) {
+				t.Fatalf("degree mismatch for %q", id)
+			}
+			for _, jj := range c.Out(i) {
+				if !g.HasEdge(id, c.IDs[jj]) {
+					t.Fatalf("csr edge %q→%q not in graph", id, c.IDs[jj])
+				}
+			}
+			for _, jj := range c.In(i) {
+				if !g.HasEdge(c.IDs[jj], id) {
+					t.Fatalf("csr in-edge %q→%q not in graph", c.IDs[jj], id)
+				}
+			}
+		}
+		// Every dangling node really has no successors, and none is missed.
+		dangling := map[int32]bool{}
+		for _, i := range c.Dangling {
+			dangling[i] = true
+		}
+		for i := range c.IDs {
+			if got, want := dangling[int32(i)], c.OutDegree(i) == 0; got != want {
+				t.Fatalf("dangling[%d] = %v, out-degree %d", i, got, c.OutDegree(i))
+			}
+		}
+	}
+}
+
+func TestCSREmptyAndSingle(t *testing.T) {
+	c := New().CSR()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 0 || c.NumEdges() != 0 || len(c.OutOff) != 1 {
+		t.Fatalf("empty csr = %+v", c)
+	}
+	g := New()
+	g.AddNode("solo")
+	c = g.CSR()
+	if c.NumNodes() != 1 || len(c.Dangling) != 1 || c.Dangling[0] != 0 {
+		t.Fatalf("single-node csr = %+v", c)
+	}
+}
+
+func TestCSRSelfLoopAndDuplicate(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "a")
+	g.AddEdge("a", "b")
+	g.AddEdge("a", "b")
+	c := g.CSR()
+	if c.NumEdges() != 2 {
+		t.Fatalf("want 2 deduplicated edges, got %d", c.NumEdges())
+	}
+	ai, _ := c.Index("a")
+	bi, _ := c.Index("b")
+	if c.OutDegree(ai) != 2 || c.InDegree(ai) != 1 || c.InDegree(bi) != 1 {
+		t.Fatalf("self-loop adjacency wrong: %+v", c)
+	}
+}
+
+func TestCSRCachedUntilMutation(t *testing.T) {
+	g := buildRandom(7, 10, 20)
+	c1 := g.CSR()
+	if c2 := g.CSR(); c2 != c1 {
+		t.Fatal("unchanged graph must return the cached CSR")
+	}
+	g.AddEdge("n000", "n001x")
+	c3 := g.CSR()
+	if c3 == c1 {
+		t.Fatal("mutation must invalidate the cached CSR")
+	}
+	if _, ok := c3.Index("n001x"); !ok {
+		t.Fatal("rebuilt CSR is missing the new node")
+	}
+	g.AddNode("zzz")
+	if c4 := g.CSR(); c4 == c3 {
+		t.Fatal("AddNode must invalidate the cached CSR")
+	}
+}
+
+func TestNewCSRPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"edge arrays differ": func() { NewCSR([]string{"a"}, []int32{0}, nil) },
+		"index out of range": func() { NewCSR([]string{"a"}, []int32{0}, []int32{1}) },
+		"duplicate id":       func() { NewCSR([]string{"a", "a"}, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Directed is a simple directed graph with string node IDs. The zero value
@@ -17,6 +18,10 @@ type Directed struct {
 	in    map[string][]string
 	edges map[[2]string]struct{}
 	order []string // insertion order of nodes, for deterministic iteration
+
+	// csr lazily caches the frozen CSR view (see CSR()); mutations drop it.
+	// Atomic so concurrent readers of an unchanging graph stay safe.
+	csr atomic.Pointer[CSR]
 }
 
 // New returns an empty directed graph.
@@ -36,6 +41,7 @@ func (g *Directed) AddNode(id string) {
 	}
 	g.nodes[id] = struct{}{}
 	g.order = append(g.order, id)
+	g.csr.Store(nil)
 }
 
 // AddEdge inserts the directed edge from→to, creating missing nodes.
@@ -51,6 +57,7 @@ func (g *Directed) AddEdge(from, to string) {
 	g.edges[key] = struct{}{}
 	g.out[from] = append(g.out[from], to)
 	g.in[to] = append(g.in[to], from)
+	g.csr.Store(nil)
 }
 
 // HasNode reports whether id is in the graph.

@@ -7,7 +7,6 @@ import (
 
 	"mass/internal/blog"
 	"mass/internal/classify"
-	"mass/internal/graph"
 	"mass/internal/linkrank"
 	"mass/internal/novelty"
 	"mass/internal/sentiment"
@@ -316,13 +315,20 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 	return res, nil
 }
 
-// computeGL builds the blogger-level hyperlink graph and runs PageRank.
+// computeGL runs PageRank over the corpus's hyperlink graph. The solve
+// consumes the corpus's cached CSR view (c.LinkCSR, built once per link
+// epoch and shared by every snapshot of that epoch), whose dense node
+// index is exactly the sorted blogger order — so the kernel's score vector
+// IS the GL slab, with no graph rebuild, no string index, and no score-map
+// round-trip per analysis.
+//
 // When the cache holds a GL vector for this exact graph (same link epoch,
 // link count and blogger set), the solve is skipped and the vector reused
 // verbatim — bit-for-bit what a fresh solve would produce, since PageRank
 // is deterministic. When the graph changed, the previous vector seeds the
-// iteration (linkrank.Options.Warm) so the solve converges in a handful of
-// sweeps. When the authority facet is disabled the GL vector is all zeros.
+// iteration as a dense warm start (linkrank.Options.WarmDense) so the
+// solve converges in a handful of sweeps. When the authority facet is
+// disabled the GL vector is all zeros.
 func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID, cache *Cache) (gl []float64, reused bool) {
 	gl = make([]float64, len(bloggers))
 	if a.cfg.IgnoreAuthority {
@@ -332,21 +338,16 @@ func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID, cache *C
 		copy(gl, cache.gl)
 		return gl, true
 	}
-	g := graph.New()
-	for _, id := range bloggers {
-		g.AddNode(string(id))
-	}
-	for _, l := range c.Links {
-		g.AddEdge(string(l.From), string(l.To))
-	}
+	csr := c.LinkCSR()
 	opts := a.cfg.PageRank
-	if opts.Warm == nil {
-		opts.Warm = cache.glWarmMap()
+	if opts.Workers == 0 {
+		opts.Workers = a.cfg.Workers
 	}
-	pr := linkrank.PageRank(g, opts)
-	for i, id := range bloggers {
-		gl[i] = pr.Scores[string(id)]
+	if opts.Warm == nil && opts.WarmDense == nil {
+		opts.WarmDense = cache.glWarmDense(bloggers)
 	}
+	pr := linkrank.PageRankCSR(csr, opts)
+	copy(gl, pr.Scores)
 	cache.storeGL(c.LinkEpoch(), c.Links, bloggers, gl)
 	return gl, false
 }

@@ -168,15 +168,25 @@ func (ch *Cache) glMatches(c *blog.Corpus, bloggers []blog.BloggerID) bool {
 	return true
 }
 
-// glWarmMap converts the cached GL vector into a warm-start seed for
-// PageRank, or nil when no previous vector exists.
-func (ch *Cache) glWarmMap() map[string]float64 {
+// glWarmDense converts the cached GL vector into a dense warm-start seed
+// aligned to the given sorted blogger order (which is also the link CSR's
+// node index), or nil when no previous vector exists. Both blogger lists
+// are sorted, so the remap is one merge walk; bloggers that appeared since
+// the cached solve get a zero entry, which the solver treats as "start at
+// the uniform floor" — the same semantics the map-based shim had.
+func (ch *Cache) glWarmDense(bloggers []blog.BloggerID) []float64 {
 	if !ch.glValid || len(ch.gl) == 0 {
 		return nil
 	}
-	warm := make(map[string]float64, len(ch.gl))
-	for i, b := range ch.glBloggers {
-		warm[string(b)] = ch.gl[i]
+	warm := make([]float64, len(bloggers))
+	j := 0
+	for i, b := range bloggers {
+		for j < len(ch.glBloggers) && ch.glBloggers[j] < b {
+			j++
+		}
+		if j < len(ch.glBloggers) && ch.glBloggers[j] == b {
+			warm[i] = ch.gl[j]
+		}
 	}
 	return warm
 }

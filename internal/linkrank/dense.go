@@ -1,0 +1,457 @@
+package linkrank
+
+import (
+	"math"
+
+	"mass/internal/graph"
+)
+
+// This file holds the dense solver core. Every authority measure is an
+// iterative kernel over a frozen graph.CSR: ping-pong []float64 buffers,
+// zero allocations inside the sweep loop, and sweeps edge-partitioned
+// across Options.Workers. The map-based PageRank / PersonalizedPageRank /
+// HITS entry points are compatibility wrappers over these kernels.
+//
+// Determinism: results are bit-for-bit identical regardless of Workers.
+// The parallel phase only computes next[i] for disjoint row ranges — each
+// row is summed start-to-end by exactly one goroutine, so partitioning
+// cannot change any rounding — and every floating-point reduction (the
+// dangling mass, the convergence delta, the HITS norms) runs serially in
+// node-index order.
+
+// DenseResult carries a converged score vector aligned to a CSR's interned
+// node index (Scores[i] belongs to CSR.IDs[i]), plus solver diagnostics.
+type DenseResult struct {
+	CSR        *graph.CSR
+	Scores     []float64
+	Iterations int
+	Converged  bool
+}
+
+// Map materializes the dense vector as an ID-keyed map, the pre-CSR result
+// shape. It allocates one map; hot paths should index Scores directly.
+func (r DenseResult) Map() map[string]float64 {
+	m := make(map[string]float64, len(r.Scores))
+	for i, id := range r.CSR.IDs {
+		m[id] = r.Scores[i]
+	}
+	return m
+}
+
+func (r DenseResult) toResult() Result {
+	return Result{Scores: r.Map(), Iterations: r.Iterations, Converged: r.Converged}
+}
+
+// rowPool fans fixed row ranges of a sweep across persistent worker
+// goroutines. The goroutines and channels are allocated once per solve;
+// dispatching a sweep is w channel sends and w receives — no allocations,
+// which is what keeps the per-sweep cost at exactly the edge reads.
+type rowPool struct {
+	workers int
+	jobs    chan rowJob
+	done    chan struct{}
+}
+
+type rowJob struct {
+	fn     func(lo, hi int32)
+	lo, hi int32
+}
+
+func newRowPool(workers int) *rowPool {
+	p := &rowPool{
+		workers: workers,
+		jobs:    make(chan rowJob, workers),
+		done:    make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range p.jobs {
+				j.fn(j.lo, j.hi)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn over the row ranges bounds[w]..bounds[w+1] and blocks
+// until every range finished. len(bounds) must be workers+1.
+func (p *rowPool) run(fn func(lo, hi int32), bounds []int32) {
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- rowJob{fn: fn, lo: bounds[w], hi: bounds[w+1]}
+	}
+	for w := 0; w < p.workers; w++ {
+		<-p.done
+	}
+}
+
+func (p *rowPool) stop() { close(p.jobs) }
+
+// edgeBounds partitions the n rows of the offset array into workers ranges
+// of roughly equal edge count, so a heavy-tailed graph doesn't leave one
+// goroutine with all the high-degree rows.
+func edgeBounds(off []int32, workers int) []int32 {
+	n := int32(len(off) - 1)
+	total := int64(off[n])
+	bounds := make([]int32, workers+1)
+	bounds[workers] = n
+	r := int32(0)
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		for r < n && int64(off[r]) < target {
+			r++
+		}
+		bounds[w] = r
+	}
+	return bounds
+}
+
+// sweepWorkers clamps the configured worker count to the row count.
+func sweepWorkers(opts Options, n int) int {
+	w := opts.Workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// warmVector fills cur with the normalized warm-start distribution:
+// WarmDense entries (aligned to c) take precedence, then the Warm map,
+// then the uniform start. Non-positive or missing entries fall back to the
+// uniform floor, so the seed is always a valid distribution. Reports
+// whether any warm source was present.
+func warmVector(c *graph.CSR, opts Options, cur []float64) bool {
+	n := len(cur)
+	uniform := 1 / float64(n)
+	switch {
+	case len(opts.WarmDense) > 0:
+		var sum float64
+		for i := range cur {
+			v := 0.0
+			if i < len(opts.WarmDense) {
+				v = opts.WarmDense[i]
+			}
+			if v > 0 {
+				cur[i] = v
+			} else {
+				cur[i] = uniform
+			}
+			sum += cur[i]
+		}
+		for i := range cur {
+			cur[i] /= sum
+		}
+		return true
+	case len(opts.Warm) > 0:
+		var sum float64
+		for i, id := range c.IDs {
+			if v, ok := opts.Warm[id]; ok && v > 0 {
+				cur[i] = v
+			} else {
+				cur[i] = uniform
+			}
+			sum += cur[i]
+		}
+		for i := range cur {
+			cur[i] /= sum
+		}
+		return true
+	default:
+		for i := range cur {
+			cur[i] = uniform
+		}
+		return false
+	}
+}
+
+// prState is the PageRank sweep workspace; the sweep closure is created
+// once per solve and reads the per-iteration scalars through this struct.
+type prState struct {
+	c             *graph.CSR
+	next, contrib []float64
+	damp, addend  float64 // addend = base + danglingShare (uniform teleport)
+	tele          []float64
+	teleDangling  float64 // PersonalizedPageRank: damp * dangling mass
+	oneMinusDamp  float64
+}
+
+// sweep computes next[i] = addend + damp·Σ contrib[in(i)] for the uniform-
+// teleport kernel (tele == nil).
+func (s *prState) sweep(lo, hi int32) {
+	inOff, inFrom, contrib := s.c.InOff, s.c.InFrom, s.contrib
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for _, j := range inFrom[inOff[i]:inOff[i+1]] {
+			sum += contrib[j]
+		}
+		s.next[i] = s.addend + s.damp*sum
+	}
+}
+
+// sweepPersonalized computes the preference-teleport variant:
+// next[i] = (1−d)·tele[i] + d·(Σ contrib[in(i)] + dangling·tele[i]).
+func (s *prState) sweepPersonalized(lo, hi int32) {
+	inOff, inFrom, contrib, tele := s.c.InOff, s.c.InFrom, s.contrib, s.tele
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for _, j := range inFrom[inOff[i]:inOff[i+1]] {
+			sum += contrib[j]
+		}
+		s.next[i] = s.oneMinusDamp*tele[i] + s.damp*(sum+s.teleDangling*tele[i])
+	}
+}
+
+// PageRankCSR computes the PageRank vector of the frozen view c — the
+// dense core behind PageRank. Dangling nodes distribute their mass
+// uniformly; scores sum to 1; an empty view yields an empty result.
+// Each sweep costs exactly O(V+E) with zero allocations.
+func PageRankCSR(c *graph.CSR, opts Options) DenseResult {
+	opts = opts.withDefaults()
+	n := c.NumNodes()
+	res := DenseResult{CSR: c, Scores: make([]float64, n)}
+	if n == 0 {
+		res.Converged = true
+		return res
+	}
+	cur := res.Scores
+	st := &prState{
+		c:       c,
+		next:    make([]float64, n),
+		contrib: make([]float64, n),
+		damp:    opts.Damping,
+	}
+	warmVector(c, opts, cur)
+	base := (1 - opts.Damping) / float64(n)
+
+	workers := sweepWorkers(opts, n)
+	var pool *rowPool
+	var bounds []int32
+	if workers > 1 {
+		pool = newRowPool(workers)
+		defer pool.stop()
+		bounds = edgeBounds(c.InOff, workers)
+	}
+	sweep := st.sweep // one closure for the whole solve
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		res.Iterations = iter
+		// Serial O(V) prologue: per-node contributions and the dangling
+		// mass, summed in node-index order for worker-count independence.
+		var dangling float64
+		for _, i := range c.Dangling {
+			dangling += cur[i]
+		}
+		for j := 0; j < n; j++ {
+			if d := c.OutOff[j+1] - c.OutOff[j]; d > 0 {
+				st.contrib[j] = cur[j] / float64(d)
+			} else {
+				st.contrib[j] = 0
+			}
+		}
+		st.addend = base + opts.Damping*dangling/float64(n)
+		if pool != nil {
+			pool.run(sweep, bounds)
+		} else {
+			sweep(0, int32(n))
+		}
+		var delta float64
+		for i := 0; i < n; i++ {
+			delta += math.Abs(st.next[i] - cur[i])
+		}
+		cur, st.next = st.next, cur
+		if delta < opts.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = cur
+	return res
+}
+
+// PersonalizedPageRankCSR computes topic-sensitive PageRank over c with
+// the teleport distribution prefs (aligned to c's node index; need not be
+// normalized, non-positive entries are ignored). With no positive
+// preference mass — including a nil prefs — it degenerates to the uniform
+// teleport vector, i.e. standard PageRank. Scores sum to 1.
+func PersonalizedPageRankCSR(c *graph.CSR, prefs []float64, opts Options) DenseResult {
+	opts = opts.withDefaults()
+	n := c.NumNodes()
+	res := DenseResult{CSR: c, Scores: make([]float64, n)}
+	if n == 0 {
+		res.Converged = true
+		return res
+	}
+	tele := make([]float64, n)
+	var mass float64
+	for i := 0; i < n && i < len(prefs); i++ {
+		if prefs[i] > 0 {
+			tele[i] = prefs[i]
+			mass += prefs[i]
+		}
+	}
+	if mass == 0 {
+		for i := range tele {
+			tele[i] = 1
+		}
+		mass = float64(n)
+	}
+	for i := range tele {
+		tele[i] /= mass
+	}
+
+	cur := res.Scores
+	copy(cur, tele)
+	st := &prState{
+		c:            c,
+		next:         make([]float64, n),
+		contrib:      make([]float64, n),
+		damp:         opts.Damping,
+		oneMinusDamp: 1 - opts.Damping,
+		tele:         tele,
+	}
+	workers := sweepWorkers(opts, n)
+	var pool *rowPool
+	var bounds []int32
+	if workers > 1 {
+		pool = newRowPool(workers)
+		defer pool.stop()
+		bounds = edgeBounds(c.InOff, workers)
+	}
+	sweep := st.sweepPersonalized
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		res.Iterations = iter
+		var dangling float64
+		for _, i := range c.Dangling {
+			dangling += cur[i]
+		}
+		for j := 0; j < n; j++ {
+			if d := c.OutOff[j+1] - c.OutOff[j]; d > 0 {
+				st.contrib[j] = cur[j] / float64(d)
+			} else {
+				st.contrib[j] = 0
+			}
+		}
+		st.teleDangling = dangling
+		if pool != nil {
+			pool.run(sweep, bounds)
+		} else {
+			sweep(0, int32(n))
+		}
+		var delta float64
+		for i := 0; i < n; i++ {
+			delta += math.Abs(st.next[i] - cur[i])
+		}
+		cur, st.next = st.next, cur
+		if delta < opts.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = cur
+	return res
+}
+
+// hitsState is the HITS sweep workspace: auth pulls over in-edges, hub
+// pulls over out-edges; both closures are created once per solve.
+type hitsState struct {
+	c    *graph.CSR
+	a, h []float64
+}
+
+func (s *hitsState) sweepAuth(lo, hi int32) {
+	inOff, inFrom, h := s.c.InOff, s.c.InFrom, s.h
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for _, j := range inFrom[inOff[i]:inOff[i+1]] {
+			sum += h[j]
+		}
+		s.a[i] = sum
+	}
+}
+
+func (s *hitsState) sweepHub(lo, hi int32) {
+	outOff, outTo, a := s.c.OutOff, s.c.OutTo, s.a
+	for i := lo; i < hi; i++ {
+		sum := 0.0
+		for _, j := range outTo[outOff[i]:outOff[i+1]] {
+			sum += a[j]
+		}
+		s.h[i] = sum
+	}
+}
+
+// normalizeL2 scales v to unit L2 norm (no-op on a zero vector), summing
+// serially for determinism.
+func normalizeL2(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	s = math.Sqrt(s)
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// HITSCSR computes hub and authority scores over the frozen view c with L2
+// normalization each sweep — the dense core behind HITS. Warm options are
+// ignored, as for the map-based entry point.
+func HITSCSR(c *graph.CSR, opts Options) (auth, hub DenseResult) {
+	opts = opts.withDefaults()
+	n := c.NumNodes()
+	auth = DenseResult{CSR: c, Scores: make([]float64, n)}
+	hub = DenseResult{CSR: c, Scores: make([]float64, n)}
+	if n == 0 {
+		auth.Converged, hub.Converged = true, true
+		return auth, hub
+	}
+	st := &hitsState{c: c, a: auth.Scores, h: hub.Scores}
+	for i := 0; i < n; i++ {
+		st.a[i], st.h[i] = 1, 1
+	}
+	prevA := make([]float64, n)
+
+	workers := sweepWorkers(opts, n)
+	var pool *rowPool
+	var inBounds, outBounds []int32
+	if workers > 1 {
+		pool = newRowPool(workers)
+		defer pool.stop()
+		inBounds = edgeBounds(c.InOff, workers)
+		outBounds = edgeBounds(c.OutOff, workers)
+	}
+	sweepAuth, sweepHub := st.sweepAuth, st.sweepHub
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		auth.Iterations, hub.Iterations = iter, iter
+		copy(prevA, st.a)
+		if pool != nil {
+			pool.run(sweepAuth, inBounds)
+		} else {
+			sweepAuth(0, int32(n))
+		}
+		normalizeL2(st.a)
+		if pool != nil {
+			pool.run(sweepHub, outBounds)
+		} else {
+			sweepHub(0, int32(n))
+		}
+		normalizeL2(st.h)
+		var delta float64
+		for i := 0; i < n; i++ {
+			delta += math.Abs(st.a[i] - prevA[i])
+		}
+		if delta < opts.Epsilon {
+			auth.Converged, hub.Converged = true, true
+			break
+		}
+	}
+	return auth, hub
+}

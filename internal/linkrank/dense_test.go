@@ -1,0 +1,475 @@
+package linkrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mass/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Reference solvers: verbatim ports of the pre-CSR map-based implementations
+// (sorted-node index maps, per-call adjacency rebuild). The dense kernels
+// must reproduce their scores to ≤ 1e-12 on arbitrary graphs.
+
+func refPageRank(g *graph.Directed, opts Options) Result {
+	opts = opts.withDefaults()
+	nodes := g.SortedNodes()
+	n := len(nodes)
+	if n == 0 {
+		return Result{Scores: map[string]float64{}, Converged: true}
+	}
+	idx := make(map[string]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	outDeg := make([]int, n)
+	inN := make([][]int, n)
+	for i, id := range nodes {
+		outDeg[i] = g.OutDegree(id)
+		preds := g.In(id)
+		inN[i] = make([]int, len(preds))
+		for j, p := range preds {
+			inN[i][j] = idx[p]
+		}
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	uniform := 1 / float64(n)
+	for i := range cur {
+		cur[i] = uniform
+	}
+	if len(opts.Warm) > 0 {
+		var sum float64
+		for i, id := range nodes {
+			if v, ok := opts.Warm[id]; ok && v > 0 {
+				cur[i] = v
+			} else {
+				cur[i] = uniform
+			}
+			sum += cur[i]
+		}
+		for i := range cur {
+			cur[i] /= sum
+		}
+	}
+	base := (1 - opts.Damping) / float64(n)
+	res := Result{Scores: make(map[string]float64, n)}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		res.Iterations = iter
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				dangling += cur[i]
+			}
+		}
+		danglingShare := opts.Damping * dangling / float64(n)
+		var delta float64
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range inN[i] {
+				sum += cur[j] / float64(outDeg[j])
+			}
+			next[i] = base + danglingShare + opts.Damping*sum
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if delta < opts.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	for i, id := range nodes {
+		res.Scores[id] = cur[i]
+	}
+	return res
+}
+
+func refPersonalizedPageRank(g *graph.Directed, prefs map[string]float64, opts Options) Result {
+	opts = opts.withDefaults()
+	nodes := g.SortedNodes()
+	n := len(nodes)
+	if n == 0 {
+		return Result{Scores: map[string]float64{}, Converged: true}
+	}
+	idx := make(map[string]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	tele := make([]float64, n)
+	var mass float64
+	for id, p := range prefs {
+		if p > 0 {
+			if i, ok := idx[id]; ok {
+				tele[i] = p
+				mass += p
+			}
+		}
+	}
+	if mass == 0 {
+		for i := range tele {
+			tele[i] = 1
+		}
+		mass = float64(n)
+	}
+	for i := range tele {
+		tele[i] /= mass
+	}
+	outDeg := make([]int, n)
+	inN := make([][]int, n)
+	for i, id := range nodes {
+		outDeg[i] = g.OutDegree(id)
+		for _, p := range g.In(id) {
+			inN[i] = append(inN[i], idx[p])
+		}
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	copy(cur, tele)
+	res := Result{Scores: make(map[string]float64, n)}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		res.Iterations = iter
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				dangling += cur[i]
+			}
+		}
+		var delta float64
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range inN[i] {
+				sum += cur[j] / float64(outDeg[j])
+			}
+			next[i] = (1-opts.Damping)*tele[i] + opts.Damping*(sum+dangling*tele[i])
+			delta += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if delta < opts.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	for i, id := range nodes {
+		res.Scores[id] = cur[i]
+	}
+	return res
+}
+
+func refHITS(g *graph.Directed, opts Options) (auth, hub Result) {
+	opts = opts.withDefaults()
+	nodes := g.SortedNodes()
+	n := len(nodes)
+	auth = Result{Scores: make(map[string]float64, n)}
+	hub = Result{Scores: make(map[string]float64, n)}
+	if n == 0 {
+		auth.Converged, hub.Converged = true, true
+		return auth, hub
+	}
+	idx := make(map[string]int, n)
+	for i, id := range nodes {
+		idx[id] = i
+	}
+	inN := make([][]int, n)
+	outN := make([][]int, n)
+	for i, id := range nodes {
+		for _, p := range g.In(id) {
+			inN[i] = append(inN[i], idx[p])
+		}
+		for _, s := range g.Out(id) {
+			outN[i] = append(outN[i], idx[s])
+		}
+	}
+	a := make([]float64, n)
+	h := make([]float64, n)
+	for i := range a {
+		a[i], h[i] = 1, 1
+	}
+	normalize := func(v []float64) {
+		var s float64
+		for _, x := range v {
+			s += x * x
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return
+		}
+		for i := range v {
+			v[i] /= s
+		}
+	}
+	prevA := make([]float64, n)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		auth.Iterations, hub.Iterations = iter, iter
+		copy(prevA, a)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range inN[i] {
+				sum += h[j]
+			}
+			a[i] = sum
+		}
+		normalize(a)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, j := range outN[i] {
+				sum += a[j]
+			}
+			h[i] = sum
+		}
+		normalize(h)
+		var delta float64
+		for i := 0; i < n; i++ {
+			delta += math.Abs(a[i] - prevA[i])
+		}
+		if delta < opts.Epsilon {
+			auth.Converged, hub.Converged = true, true
+			break
+		}
+	}
+	for i, id := range nodes {
+		auth.Scores[id] = a[i]
+		hub.Scores[id] = h[i]
+	}
+	return auth, hub
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence properties.
+
+// messyGraph exercises every structural edge case the dense kernels must
+// handle: dangling nodes, self-links, duplicate edges, and disconnected
+// components (two islands of nodes with no edges between them plus fully
+// isolated nodes).
+func messyGraph(seed int64, n, e int) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("v%03d", i))
+	}
+	nodes := g.Nodes()
+	half := len(nodes)/2 + 1
+	pick := func(island int) string {
+		if island == 0 {
+			return nodes[rng.Intn(half)]
+		}
+		return nodes[half+rng.Intn(len(nodes)-half)]
+	}
+	for i := 0; i < e; i++ {
+		island := 0
+		if len(nodes) > half && rng.Intn(2) == 1 {
+			island = 1
+		}
+		a, b := pick(island), pick(island)
+		g.AddEdge(a, b) // a == b happens: self-link
+		if rng.Intn(5) == 0 {
+			g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+func maxDiff(a, b map[string]float64) float64 {
+	worst := 0.0
+	for k, v := range a {
+		if d := math.Abs(v - b[k]); d > worst {
+			worst = d
+		}
+	}
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	return worst
+}
+
+// TestDenseMatchesMapSolvers pins the CSR kernels to the pre-refactor
+// map-based solvers to ≤ 1e-12 over randomized graphs with dangling nodes,
+// self-links, duplicate edges, disconnected components, and the empty
+// graph, under serial and parallel sweeps.
+func TestDenseMatchesMapSolvers(t *testing.T) {
+	const tol = 1e-12
+	shapes := []struct{ n, e int }{
+		{0, 0},   // empty
+		{1, 0},   // single dangling node
+		{7, 0},   // all dangling, no edges
+		{12, 18}, // sparse, islands
+		{25, 120},
+		{40, 300}, // dense-ish
+	}
+	for _, sh := range shapes {
+		for seed := int64(1); seed <= 4; seed++ {
+			g := messyGraph(seed, sh.n, sh.e)
+			name := fmt.Sprintf("n=%d/e=%d/seed=%d", sh.n, sh.e, seed)
+			for _, workers := range []int{1, 3} {
+				opts := Options{Workers: workers}
+				got := PageRank(g, opts)
+				want := refPageRank(g, Options{})
+				if d := maxDiff(want.Scores, got.Scores); d > tol {
+					t.Fatalf("%s workers=%d: PageRank diverges from map solver by %g", name, workers, d)
+				}
+				if got.Converged != want.Converged {
+					t.Fatalf("%s: converged %v vs %v", name, got.Converged, want.Converged)
+				}
+				prefs := map[string]float64{}
+				rng := rand.New(rand.NewSource(seed * 31))
+				for _, id := range g.Nodes() {
+					if rng.Intn(3) == 0 {
+						prefs[id] = rng.Float64()
+					}
+				}
+				prefs["not-a-node"] = 2 // unknown IDs must be ignored
+				gotP := PersonalizedPageRank(g, prefs, opts)
+				wantP := refPersonalizedPageRank(g, prefs, Options{})
+				if d := maxDiff(wantP.Scores, gotP.Scores); d > tol {
+					t.Fatalf("%s workers=%d: PersonalizedPageRank diverges by %g", name, workers, d)
+				}
+				gotA, gotH := HITS(g, opts)
+				wantA, wantH := refHITS(g, Options{})
+				if d := maxDiff(wantA.Scores, gotA.Scores); d > tol {
+					t.Fatalf("%s workers=%d: HITS authority diverges by %g", name, workers, d)
+				}
+				if d := maxDiff(wantH.Scores, gotH.Scores); d > tol {
+					t.Fatalf("%s workers=%d: HITS hub diverges by %g", name, workers, d)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseWarmMatchesMapWarm pins the warm-started paths (map shim and
+// dense vector) to the reference warm solver.
+func TestDenseWarmMatchesMapWarm(t *testing.T) {
+	g := messyGraph(9, 30, 150)
+	cold := refPageRank(g, Options{})
+	want := refPageRank(g, Options{Warm: cold.Scores})
+
+	viaMap := PageRank(g, Options{Warm: cold.Scores})
+	if d := maxDiff(want.Scores, viaMap.Scores); d > 1e-12 {
+		t.Fatalf("warm map shim diverges by %g", d)
+	}
+	if viaMap.Iterations != want.Iterations {
+		t.Fatalf("warm map shim took %d iterations, reference %d", viaMap.Iterations, want.Iterations)
+	}
+
+	csr := g.CSR()
+	dense := make([]float64, csr.NumNodes())
+	for i, id := range csr.IDs {
+		dense[i] = cold.Scores[id]
+	}
+	viaDense := PageRankCSR(csr, Options{WarmDense: dense, Workers: 4})
+	for i, id := range csr.IDs {
+		if d := math.Abs(viaDense.Scores[i] - want.Scores[id]); d > 1e-12 {
+			t.Fatalf("dense warm start diverges for %s by %g", id, d)
+		}
+	}
+	if viaDense.Iterations >= cold.Iterations {
+		t.Fatalf("dense warm start no faster: %d vs %d iterations", viaDense.Iterations, cold.Iterations)
+	}
+}
+
+// TestDenseWorkersBitForBit asserts worker-count independence exactly: the
+// parallel partition must not change a single bit of any score.
+func TestDenseWorkersBitForBit(t *testing.T) {
+	g := messyGraph(3, 60, 400)
+	csr := g.CSR()
+	serial := PageRankCSR(csr, Options{Workers: 1})
+	for _, w := range []int{2, 3, 8, 64} {
+		par := PageRankCSR(csr, Options{Workers: w})
+		if par.Iterations != serial.Iterations {
+			t.Fatalf("workers=%d: %d iterations vs %d serial", w, par.Iterations, serial.Iterations)
+		}
+		for i := range serial.Scores {
+			if par.Scores[i] != serial.Scores[i] {
+				t.Fatalf("workers=%d: score[%d] = %v != serial %v", w, i, par.Scores[i], serial.Scores[i])
+			}
+		}
+		a1, h1 := HITSCSR(csr, Options{Workers: 1})
+		aw, hw := HITSCSR(csr, Options{Workers: w})
+		for i := range a1.Scores {
+			if a1.Scores[i] != aw.Scores[i] || h1.Scores[i] != hw.Scores[i] {
+				t.Fatalf("workers=%d: HITS differs at %d", w, i)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation contracts.
+
+// TestSweepLoopAllocFree proves the sweep loop itself allocates nothing:
+// running 6× the sweeps must not change allocs per solve, serial or
+// parallel.
+func TestSweepLoopAllocFree(t *testing.T) {
+	g := messyGraph(11, 200, 1200)
+	csr := g.CSR()
+	for _, workers := range []int{1, 4} {
+		short := testing.AllocsPerRun(10, func() {
+			PageRankCSR(csr, Options{Workers: workers, Epsilon: ExplicitZero, MaxIter: 10})
+		})
+		long := testing.AllocsPerRun(10, func() {
+			PageRankCSR(csr, Options{Workers: workers, Epsilon: ExplicitZero, MaxIter: 60})
+		})
+		if long > short {
+			t.Fatalf("workers=%d: 60 sweeps allocate more than 10 (%v vs %v) — sweep loop is not alloc-free",
+				workers, long, short)
+		}
+	}
+}
+
+// TestSolveAllocsSizeIndependent asserts the allocation budget of one solve
+// is a constant count, not a function of graph size.
+func TestSolveAllocsSizeIndependent(t *testing.T) {
+	small := messyGraph(13, 64, 300).CSR()
+	big := messyGraph(13, 1024, 6000).CSR()
+	opts := Options{Workers: 4, Epsilon: ExplicitZero, MaxIter: 8}
+	a1 := testing.AllocsPerRun(10, func() { PageRankCSR(small, opts) })
+	a2 := testing.AllocsPerRun(10, func() { PageRankCSR(big, opts) })
+	if a1 != a2 {
+		t.Fatalf("allocs grow with graph size: %v (64 nodes) vs %v (1024 nodes)", a1, a2)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Options clamping (regression: negative non-sentinel values used to pass
+// straight through to the iteration).
+
+func TestOptionsClampDamping(t *testing.T) {
+	g := chain()
+	// A negative damping factor is not a probability; it must clamp to 0
+	// (pure teleport), not feed the iteration and produce negative scores.
+	neg := PageRank(g, Options{Damping: -0.5})
+	pure := PageRank(g, Options{Damping: ExplicitZero})
+	if d := maxDiff(pure.Scores, neg.Scores); d != 0 {
+		t.Fatalf("Damping=-0.5 must behave as 0, differs by %g", d)
+	}
+	for id, s := range neg.Scores {
+		if math.Abs(s-1.0/3) > 1e-12 {
+			t.Fatalf("clamped damping must be teleport-only, %s = %v", id, s)
+		}
+	}
+	// Above 1 clamps to 1 and must still yield a valid distribution.
+	over := PageRank(g, Options{Damping: 1.5, MaxIter: 50})
+	if err := CheckStochastic(over.Scores, 1e-6); err != nil {
+		t.Fatalf("Damping=1.5: %v", err)
+	}
+}
+
+func TestOptionsClampEpsilonAndMaxIter(t *testing.T) {
+	// A negative epsilon can never be crossed; it must mean "no cutoff",
+	// exactly like the ExplicitZero sentinel.
+	r := PageRank(chain(), Options{Epsilon: -0.5, MaxIter: 7})
+	if r.Converged || r.Iterations != 7 {
+		t.Fatalf("Epsilon=-0.5 must run exactly MaxIter sweeps: %+v", r)
+	}
+	// Negative MaxIter clamps to the default instead of returning the
+	// start vector untouched.
+	r = PageRank(chain(), Options{MaxIter: -3})
+	if !r.Converged {
+		t.Fatalf("MaxIter=-3 must clamp to the default and converge: %+v", r)
+	}
+	if !(r.Scores["c"] > r.Scores["b"] && r.Scores["b"] > r.Scores["a"]) {
+		t.Fatalf("clamped MaxIter produced wrong ordering: %v", r.Scores)
+	}
+}

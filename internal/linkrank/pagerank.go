@@ -2,6 +2,15 @@
 // uses for the General-Links (GL) influence facet: PageRank (the paper's
 // chosen model, [3]) and HITS ([4]) as an alternative. Both operate on the
 // graph substrate and are convergence-controlled and deterministic.
+//
+// Every solver is a dense kernel over a frozen graph.CSR view (see
+// PageRankCSR and friends in dense.go): interned node indexes, ping-pong
+// score buffers, zero allocations per sweep, and sweeps optionally
+// edge-partitioned across Options.Workers with bit-for-bit deterministic
+// results. The map-based PageRank / PersonalizedPageRank / HITS entry
+// points below are compatibility wrappers that freeze the graph (cached on
+// it) and convert the dense result back to ID-keyed maps; hot paths should
+// call the CSR kernels directly and keep scores dense.
 package linkrank
 
 import (
@@ -22,14 +31,26 @@ const ExplicitZero = -1
 type Options struct {
 	// Damping is the PageRank damping factor d (probability of following a
 	// link rather than teleporting). Default 0.85. Set to ExplicitZero for a
-	// literal 0 (uniform teleport-only ranking).
+	// literal 0 (uniform teleport-only ranking). Values outside [0,1] are
+	// clamped to the nearest valid value: a damping factor is a probability,
+	// and anything else would let the iteration produce negative scores or
+	// diverge instead of failing loudly.
 	Damping float64
 	// Epsilon is the L1 convergence threshold. Default 1e-10. Set to
 	// ExplicitZero to disable the cutoff and always run MaxIter sweeps
-	// (Result.Converged then stays false).
+	// (Result.Converged then stays false). Any other negative value is
+	// clamped to 0, i.e. treated as "no cutoff" too — a negative threshold
+	// can never be crossed, so that is what it already meant numerically.
 	Epsilon float64
-	// MaxIter bounds the number of sweeps. Default 200.
+	// MaxIter bounds the number of sweeps. Default 200; non-positive values
+	// are clamped to the default (a solver that never sweeps returns its
+	// start vector, which no caller can want).
 	MaxIter int
+	// Workers edge-partitions each sweep across this many goroutines.
+	// Default 1 (serial). Results are bit-for-bit identical for any value:
+	// rows are pull-summed by exactly one goroutine each and every global
+	// reduction runs serially, so only wall time changes.
+	Workers int
 	// Warm optionally seeds the PageRank iteration with a previous score
 	// vector instead of the uniform start. When the graph changed only
 	// slightly since Warm was computed, the iteration starts near the new
@@ -37,24 +58,38 @@ type Options struct {
 	// Warm start at 1/n; the seed is renormalized to sum to 1, so the
 	// stochastic invariant (and the converged result, which is unique for
 	// Damping < 1) is unaffected. Ignored by HITS.
+	//
+	// Warm is the compatibility shim for map-keyed callers; incremental
+	// pipelines should carry the previous vector densely in WarmDense and
+	// skip the map entirely.
 	Warm map[string]float64
+	// WarmDense is the dense warm start: scores aligned to the CSR node
+	// index the solver runs over (WarmDense[i] seeds CSR.IDs[i]). Takes
+	// precedence over Warm. Entries ≤ 0 (and indexes beyond its length)
+	// fall back to the uniform floor, exactly like IDs missing from Warm.
+	WarmDense []float64
 }
 
 func (o Options) withDefaults() Options {
-	switch o.Damping {
-	case 0:
+	switch {
+	case o.Damping == 0:
 		o.Damping = 0.85
-	case ExplicitZero:
+	case o.Damping == ExplicitZero, o.Damping < 0:
 		o.Damping = 0
+	case o.Damping > 1:
+		o.Damping = 1
 	}
-	switch o.Epsilon {
-	case 0:
+	switch {
+	case o.Epsilon == 0:
 		o.Epsilon = 1e-10
-	case ExplicitZero:
+	case o.Epsilon < 0: // including the ExplicitZero sentinel
 		o.Epsilon = 0
 	}
-	if o.MaxIter == 0 {
+	if o.MaxIter <= 0 {
 		o.MaxIter = 200
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -69,161 +104,20 @@ type Result struct {
 // PageRank computes the PageRank vector of g. Dangling nodes (no
 // out-edges) distribute their mass uniformly, the standard correction.
 // Scores sum to 1. An empty graph yields an empty result.
+//
+// This is the map-keyed wrapper over PageRankCSR: it freezes g (the CSR
+// view is cached on the graph until the next mutation) and materializes
+// the dense result as a map.
 func PageRank(g *graph.Directed, opts Options) Result {
-	opts = opts.withDefaults()
-	nodes := g.SortedNodes()
-	n := len(nodes)
-	if n == 0 {
-		return Result{Scores: map[string]float64{}, Converged: true}
-	}
-	idx := make(map[string]int, n)
-	for i, id := range nodes {
-		idx[id] = i
-	}
-	// Precompute in-neighbor index lists and out-degrees.
-	outDeg := make([]int, n)
-	inN := make([][]int, n)
-	for i, id := range nodes {
-		outDeg[i] = g.OutDegree(id)
-		preds := g.In(id)
-		inN[i] = make([]int, len(preds))
-		for j, p := range preds {
-			inN[i][j] = idx[p]
-		}
-	}
-	cur := make([]float64, n)
-	next := make([]float64, n)
-	uniform := 1 / float64(n)
-	for i := range cur {
-		cur[i] = uniform
-	}
-	if len(opts.Warm) > 0 {
-		// Every entry is either a positive warm score or the uniform floor,
-		// so the sum is always positive and the renormalization is safe.
-		var sum float64
-		for i, id := range nodes {
-			if v, ok := opts.Warm[id]; ok && v > 0 {
-				cur[i] = v
-			} else {
-				cur[i] = uniform
-			}
-			sum += cur[i]
-		}
-		for i := range cur {
-			cur[i] /= sum
-		}
-	}
-	base := (1 - opts.Damping) / float64(n)
-	res := Result{Scores: make(map[string]float64, n)}
-	for iter := 1; iter <= opts.MaxIter; iter++ {
-		res.Iterations = iter
-		var dangling float64
-		for i := 0; i < n; i++ {
-			if outDeg[i] == 0 {
-				dangling += cur[i]
-			}
-		}
-		danglingShare := opts.Damping * dangling / float64(n)
-		var delta float64
-		for i := 0; i < n; i++ {
-			sum := 0.0
-			for _, j := range inN[i] {
-				sum += cur[j] / float64(outDeg[j])
-			}
-			next[i] = base + danglingShare + opts.Damping*sum
-			delta += math.Abs(next[i] - cur[i])
-		}
-		cur, next = next, cur
-		if delta < opts.Epsilon {
-			res.Converged = true
-			break
-		}
-	}
-	for i, id := range nodes {
-		res.Scores[id] = cur[i]
-	}
-	return res
+	return PageRankCSR(g.CSR(), opts).toResult()
 }
 
 // HITS computes hub and authority scores of g with L2 normalization each
 // sweep. Both vectors are normalized to unit L2 norm; an empty graph yields
-// empty results.
+// empty results. Map-keyed wrapper over HITSCSR.
 func HITS(g *graph.Directed, opts Options) (auth, hub Result) {
-	opts = opts.withDefaults()
-	nodes := g.SortedNodes()
-	n := len(nodes)
-	auth = Result{Scores: make(map[string]float64, n)}
-	hub = Result{Scores: make(map[string]float64, n)}
-	if n == 0 {
-		auth.Converged, hub.Converged = true, true
-		return auth, hub
-	}
-	idx := make(map[string]int, n)
-	for i, id := range nodes {
-		idx[id] = i
-	}
-	inN := make([][]int, n)
-	outN := make([][]int, n)
-	for i, id := range nodes {
-		for _, p := range g.In(id) {
-			inN[i] = append(inN[i], idx[p])
-		}
-		for _, s := range g.Out(id) {
-			outN[i] = append(outN[i], idx[s])
-		}
-	}
-	a := make([]float64, n)
-	h := make([]float64, n)
-	for i := range a {
-		a[i], h[i] = 1, 1
-	}
-	normalize := func(v []float64) {
-		var s float64
-		for _, x := range v {
-			s += x * x
-		}
-		s = math.Sqrt(s)
-		if s == 0 {
-			return
-		}
-		for i := range v {
-			v[i] /= s
-		}
-	}
-	prevA := make([]float64, n)
-	for iter := 1; iter <= opts.MaxIter; iter++ {
-		auth.Iterations, hub.Iterations = iter, iter
-		copy(prevA, a)
-		for i := 0; i < n; i++ {
-			sum := 0.0
-			for _, j := range inN[i] {
-				sum += h[j]
-			}
-			a[i] = sum
-		}
-		normalize(a)
-		for i := 0; i < n; i++ {
-			sum := 0.0
-			for _, j := range outN[i] {
-				sum += a[j]
-			}
-			h[i] = sum
-		}
-		normalize(h)
-		var delta float64
-		for i := 0; i < n; i++ {
-			delta += math.Abs(a[i] - prevA[i])
-		}
-		if delta < opts.Epsilon {
-			auth.Converged, hub.Converged = true, true
-			break
-		}
-	}
-	for i, id := range nodes {
-		auth.Scores[id] = a[i]
-		hub.Scores[id] = h[i]
-	}
-	return auth, hub
+	da, dh := HITSCSR(g.CSR(), opts)
+	return da.toResult(), dh.toResult()
 }
 
 // CheckStochastic verifies that scores form a probability distribution

@@ -1,8 +1,6 @@
 package linkrank
 
 import (
-	"math"
-
 	"mass/internal/graph"
 )
 
@@ -12,79 +10,23 @@ import (
 // only to bloggers known to write in a domain yields a GL score biased
 // toward that domain's community.
 //
-// prefs need not be normalized; zero or negative entries are ignored. If
-// no positive preference mass exists, the result falls back to standard
-// PageRank. Scores sum to 1.
+// prefs need not be normalized; zero or negative entries (and IDs not in
+// the graph) are ignored. If no positive preference mass exists, the
+// result falls back to standard PageRank. Scores sum to 1.
+//
+// This is the map-keyed wrapper over PersonalizedPageRankCSR; callers that
+// already hold a CSR and a dense preference vector should use the kernel
+// directly.
 func PersonalizedPageRank(g *graph.Directed, prefs map[string]float64, opts Options) Result {
-	opts = opts.withDefaults()
-	nodes := g.SortedNodes()
-	n := len(nodes)
-	if n == 0 {
-		return Result{Scores: map[string]float64{}, Converged: true}
-	}
-	idx := make(map[string]int, n)
-	for i, id := range nodes {
-		idx[id] = i
-	}
-	// Normalized teleport vector.
-	tele := make([]float64, n)
-	var mass float64
-	for id, p := range prefs {
-		if p > 0 {
-			if i, ok := idx[id]; ok {
-				tele[i] = p
-				mass += p
+	c := g.CSR()
+	var dense []float64
+	if len(prefs) > 0 {
+		dense = make([]float64, c.NumNodes())
+		for id, p := range prefs {
+			if i, ok := c.Index(id); ok {
+				dense[i] = p
 			}
 		}
 	}
-	if mass == 0 {
-		for i := range tele {
-			tele[i] = 1
-		}
-		mass = float64(n)
-	}
-	for i := range tele {
-		tele[i] /= mass
-	}
-
-	outDeg := make([]int, n)
-	inN := make([][]int, n)
-	for i, id := range nodes {
-		outDeg[i] = g.OutDegree(id)
-		for _, p := range g.In(id) {
-			inN[i] = append(inN[i], idx[p])
-		}
-	}
-	cur := make([]float64, n)
-	next := make([]float64, n)
-	copy(cur, tele)
-	res := Result{Scores: make(map[string]float64, n)}
-	for iter := 1; iter <= opts.MaxIter; iter++ {
-		res.Iterations = iter
-		var dangling float64
-		for i := 0; i < n; i++ {
-			if outDeg[i] == 0 {
-				dangling += cur[i]
-			}
-		}
-		var delta float64
-		for i := 0; i < n; i++ {
-			sum := 0.0
-			for _, j := range inN[i] {
-				sum += cur[j] / float64(outDeg[j])
-			}
-			// Dangling mass also teleports by preference.
-			next[i] = (1-opts.Damping)*tele[i] + opts.Damping*(sum+dangling*tele[i])
-			delta += math.Abs(next[i] - cur[i])
-		}
-		cur, next = next, cur
-		if delta < opts.Epsilon {
-			res.Converged = true
-			break
-		}
-	}
-	for i, id := range nodes {
-		res.Scores[id] = cur[i]
-	}
-	return res
+	return PersonalizedPageRankCSR(c, dense, opts).toResult()
 }

@@ -12,6 +12,7 @@ import (
 	"mass/internal/blog"
 	"mass/internal/classify"
 	"mass/internal/influence"
+	"mass/internal/linkrank"
 	"mass/internal/rank"
 )
 
@@ -53,6 +54,24 @@ func (r *Recommender) ForProfile(profile string, k int) []Recommendation {
 func (r *Recommender) ForDomain(domain string, k int) []Recommendation {
 	iv := map[string]float64{domain: 1}
 	return r.rankByVector(iv, k, nil)
+}
+
+// DomainAuthority recommends the top-k bloggers of one domain by
+// topic-sensitive link authority: personalized PageRank over the corpus's
+// hyperlink graph with teleportation weighted by each blogger's influence
+// in the domain. Where ForDomain ranks by the MASS domain influence score
+// itself, DomainAuthority surfaces who that domain's community links to.
+// The solve runs on the corpus's cached CSR view and the dense
+// personalized-PageRank kernel; with no positive domain mass (an unknown
+// domain) it degenerates to plain PageRank over the whole blogosphere.
+func (r *Recommender) DomainAuthority(domain string, k int) []Recommendation {
+	csr := r.corpus.LinkCSR()
+	prefs := make([]float64, csr.NumNodes())
+	for i, id := range csr.IDs {
+		prefs[i] = r.result.DomainScore(blog.BloggerID(id), domain)
+	}
+	pr := linkrank.PersonalizedPageRankCSR(csr, prefs, linkrank.Options{})
+	return toRecommendations(rank.TopK(pr.Map(), k))
 }
 
 // ForBlogger recommends top-k bloggers for an existing member: interests
