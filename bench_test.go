@@ -655,6 +655,148 @@ func BenchmarkPageRankCSR(b *testing.B) {
 	})
 }
 
+// BenchmarkDeltaPageRank measures what a link-update flush costs after the
+// incremental solver, on the same 50k-node / ~480k-edge Zipf graph as
+// BenchmarkPageRankCSR:
+//
+//	delta-push       — apply a 100-edge batch to the DeltaCSR overlay and
+//	                   advance the persistent push state with
+//	                   DeltaPageRankCSR (the engine's link-only flush), at
+//	                   the refresh-grade epsilon 1e-7: between rebases the
+//	                   incremental refresh truncates at a score-relative
+//	                   bar (~5e-8·max(1, n·x) per node), and exactness is
+//	                   restored by the full solve at each rebase. When the
+//	                   overlay crosses the blog-layer compaction threshold
+//	                   that rebase runs outside the timer: its cost is
+//	                   per-epoch-compaction, measured by csr-cold.
+//	warm-full-sweep  — full PageRankCSR over the modified graph, warm-
+//	                   started from the previous vector: what the same
+//	                   flush paid before the delta path (PR 5's csr-warm).
+//	cached-cold      — full PageRankCSR over the modified graph from the
+//	                   uniform start: the fallback when no warm vector
+//	                   survives.
+//
+// All variants run with b.ReportAllocs; the delta case's allocs/op are the
+// overlay bookkeeping of the 100 AddEdge calls plus amortized op-log
+// growth — the push loop itself allocates nothing (TestPushLoopAllocFree).
+// BENCH_PR6.json records the trajectory.
+func BenchmarkDeltaPageRank(b *testing.B) {
+	const nodes = 50_000
+	const edgeDraws = 500_000
+	const batch = 100
+	rng := rand.New(rand.NewSource(2010))
+	zipf := rand.NewZipf(rng, 1.3, 8, nodes-1)
+	ids := make([]string, nodes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("b%05d", i)
+	}
+	from := make([]int32, 0, edgeDraws)
+	to := make([]int32, 0, edgeDraws)
+	for k := 0; k < edgeDraws; k++ {
+		f := int32(rng.Intn(nodes))
+		t := int32(zipf.Uint64())
+		if f != t {
+			from = append(from, f)
+			to = append(to, t)
+		}
+	}
+	base := graph.NewCSR(ids, from, to)
+	coldOpts := linkrank.Options{}
+	cold := linkrank.PageRankCSR(base, coldOpts)
+	if !cold.Converged {
+		b.Fatal("synthetic graph did not converge")
+	}
+	b.Logf("graph: %d nodes, %d edges (deduplicated)", base.NumNodes(), base.NumEdges())
+
+	// A pool of distinct edges absent from the base graph, same degree
+	// shape as the graph itself (random source, Zipf destination).
+	probe := graph.NewDeltaCSR(base)
+	seen := map[int64]struct{}{}
+	pool := make([][2]int32, 0, 64*batch)
+	for len(pool) < cap(pool) {
+		f := int32(rng.Intn(nodes))
+		t := int32(zipf.Uint64())
+		k := int64(f)<<32 | int64(uint32(t))
+		if f == t || probe.HasEdge(f, t) {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		pool = append(pool, [2]int32{f, t})
+	}
+
+	// The live-refresh operating point: truncation between rebases is
+	// refresh-grade; each rebase re-solves at the default epsilon.
+	refreshOpts := linkrank.Options{Epsilon: 1e-7}
+
+	b.Run("delta-push", func(b *testing.B) {
+		b.ReportAllocs()
+		view := graph.NewDeltaCSR(base)
+		st := linkrank.NewPushState(view, cold.Scores, refreshOpts)
+		cursor := 0
+		var last linkrank.DeltaResult
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cursor+batch > len(pool) || view.OverlaySize() > 8192 {
+				// Epoch compaction: the blog layer rebases the overlay at
+				// this size; per-rebase cost is the csr-cold number.
+				b.StopTimer()
+				view = graph.NewDeltaCSR(base)
+				st = linkrank.NewPushState(view, cold.Scores, refreshOpts)
+				cursor = 0
+				b.StartTimer()
+			}
+			for _, e := range pool[cursor : cursor+batch] {
+				view.AddEdge(e[0], e[1])
+			}
+			cursor += batch
+			var ok bool
+			last, ok = linkrank.DeltaPageRankCSR(view, st, refreshOpts)
+			if !ok {
+				b.Fatalf("delta solver refused: %+v", last)
+			}
+		}
+		b.StopTimer()
+		// Mass conservation: the scores plus the remaining residual account
+		// for the full unit mass, so drift is bounded by mass/(1−d).
+		var sum float64
+		for _, s := range st.Scores() {
+			sum += s
+		}
+		if bound := last.ResidualMass/(1-0.85) + 1e-9; math.Abs(sum-1) > bound {
+			b.Fatalf("score mass drifted to %v (bound %v)", sum, bound)
+		}
+	})
+
+	// The modified graph a full re-solve would see: base + one batch.
+	modDelta := graph.NewDeltaCSR(base)
+	for _, e := range pool[:batch] {
+		modDelta.AddEdge(e[0], e[1])
+	}
+	mod := modDelta.Compact()
+
+	b.Run("warm-full-sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := linkrank.PageRankCSR(mod, linkrank.Options{WarmDense: cold.Scores})
+			if !r.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	})
+	b.Run("cached-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := linkrank.PageRankCSR(mod, linkrank.Options{})
+			if !r.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+	})
+}
+
 // BenchmarkClassifier isolates naive Bayes classification of post bodies.
 func BenchmarkClassifier(b *testing.B) {
 	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 100, Posts: 500})

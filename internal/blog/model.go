@@ -81,21 +81,72 @@ type Corpus struct {
 	inLinks       map[BloggerID][]BloggerID
 
 	// linkEpoch counts every mutation that can change the hyperlink graph
-	// (blogger added, link added, reindex). Two corpora from the same
-	// mutation lineage with equal epochs therefore have identical link
+	// (blogger added, effective link added, reindex). Two corpora from the
+	// same mutation lineage with equal epochs therefore have identical link
 	// graphs, which lets an incremental analyzer skip re-running PageRank.
 	linkEpoch uint64
 
-	// linkCSR caches the frozen CSR view of the hyperlink graph for the
-	// current linkEpoch (see LinkCSR). Snapshots inherit the pointer, so
-	// across one epoch the whole lineage builds the view at most once.
-	linkCSR atomic.Pointer[epochCSR]
+	// linkRebuild counts the mutations after which Links may no longer be a
+	// prefix-extension of any earlier state (today: Reindex after bulk
+	// edits). Incremental link views extend across epochs only while this
+	// counter is unchanged; a bump forces the fresh-base fallback.
+	linkRebuild uint64
+
+	// linkView caches the incremental link-graph view for the current
+	// linkEpoch (see LinkView). Snapshots inherit the pointer, so across
+	// one epoch the whole lineage builds the view at most once.
+	linkView atomic.Pointer[LinkView]
 }
 
-// epochCSR pins a built CSR to the link epoch it was built at.
-type epochCSR struct {
-	epoch uint64
-	csr   *graph.CSR
+// LinkView pins one link epoch's incremental graph view: a DeltaCSR
+// overlay over a frozen base CSR, plus the prefix of Corpus.Links folded
+// into it. Views are immutable once published (the overlay is extended by
+// cloning, never in place), so one view can be shared by the live corpus,
+// its snapshots, and the analyzer's solver state simultaneously.
+type LinkView struct {
+	epoch   uint64
+	rebuild uint64
+	nLinks  int
+	delta   *graph.DeltaCSR
+
+	// flat is the lazily compacted plain-CSR rendering of the view, for
+	// consumers that need sorted rows (personalized PageRank, baselines)
+	// or a warm-sweep fallback. Built at most once per view; concurrent
+	// racing builders store equivalent results and one wins.
+	flat atomic.Pointer[graph.CSR]
+}
+
+// Epoch returns the link epoch the view was built at.
+func (v *LinkView) Epoch() uint64 { return v.epoch }
+
+// Delta returns the view's incremental overlay (immutable; do not mutate).
+func (v *LinkView) Delta() *graph.DeltaCSR { return v.delta }
+
+// CSR returns the flat CSR rendering of the view, compacting the overlay
+// on first use and caching the result on the view.
+func (v *LinkView) CSR() *graph.CSR {
+	if f := v.flat.Load(); f != nil {
+		return f
+	}
+	f := v.delta.Flatten()
+	v.flat.Store(f)
+	return f
+}
+
+// linkCompactThreshold is the overlay size at which an extended view is
+// merged back into a fresh base CSR: an eighth of the base edge count,
+// clamped to [64, 8192]. The lower clamp keeps tiny graphs from compacting
+// on every flush; the upper one bounds the per-flush overlay clone cost,
+// which is O(overlay), independently of graph size.
+func linkCompactThreshold(baseEdges int) int {
+	t := baseEdges / 8
+	if t < 64 {
+		t = 64
+	}
+	if t > 8192 {
+		t = 8192
+	}
+	return t
 }
 
 // LinkCSR returns the frozen CSR view of the hyperlink graph: nodes are
@@ -108,9 +159,69 @@ type epochCSR struct {
 // with other reads (snapshots served to query traffic) but not with
 // mutations; the ingestion engine only analyzes frozen snapshots.
 func (c *Corpus) LinkCSR() *graph.CSR {
-	if e := c.linkCSR.Load(); e != nil && e.epoch == c.linkEpoch {
-		return e.csr
+	return c.LinkViewFrom(nil).CSR()
+}
+
+// LinkView returns the incremental link-graph view for the current epoch,
+// building a fresh one (empty overlay over a newly frozen base) if none is
+// cached. Callers that can supply the previous epoch's view should prefer
+// LinkViewFrom, which extends it in O(delta) instead.
+func (c *Corpus) LinkView() *LinkView {
+	return c.LinkViewFrom(nil)
+}
+
+// LinkViewFrom returns the link view for the corpus's current epoch. When
+// prev is a view of the same lineage with the same node set, the new view
+// is built by cloning prev's overlay and applying only the Links appended
+// since prev — O(delta), the tentpole path that keeps a link-batch flush
+// from paying O(graph). Otherwise (nil prev, a blogger-set change, a
+// Reindex, or an overlay past the compaction threshold) it falls back to
+// freezing a fresh base CSR — full invalidation, exactly the pre-delta
+// behavior.
+//
+// The result is cached on the corpus per epoch and shared with snapshots.
+// Like LinkCSR, safe concurrently with reads, not with mutations.
+func (c *Corpus) LinkViewFrom(prev *LinkView) *LinkView {
+	if v := c.linkView.Load(); v != nil && v.epoch == c.linkEpoch && v.rebuild == c.linkRebuild {
+		return v
 	}
+	v := c.buildLinkView(prev)
+	c.linkView.Store(v)
+	return v
+}
+
+// extendableFrom reports whether prev can seed an O(delta) extension for
+// the corpus's current state: same append-only lineage (rebuild counter),
+// a Links prefix, and an unchanged node count. Node count equality implies
+// node set equality within a lineage, because the corpus API never removes
+// bloggers without a Reindex.
+func (c *Corpus) extendableFrom(prev *LinkView) bool {
+	return prev != nil &&
+		prev.rebuild == c.linkRebuild &&
+		prev.nLinks <= len(c.Links) &&
+		prev.delta.NumNodes() == len(c.Bloggers)
+}
+
+func (c *Corpus) buildLinkView(prev *LinkView) *LinkView {
+	if c.extendableFrom(prev) {
+		base := prev.delta.Base()
+		d := prev.delta.Clone()
+		for _, l := range c.Links[prev.nLinks:] {
+			fi, okF := base.Index(string(l.From))
+			ti, okT := base.Index(string(l.To))
+			if !okF || !okT {
+				// Unknown endpoints can only appear in a corpus that fails
+				// Validate; dropping the edge matches the fresh build.
+				continue
+			}
+			d.AddEdge(int32(fi), int32(ti))
+		}
+		if d.OverlaySize() > linkCompactThreshold(base.NumEdges()) {
+			d = graph.NewDeltaCSR(d.Compact())
+		}
+		return &LinkView{epoch: c.linkEpoch, rebuild: c.linkRebuild, nLinks: len(c.Links), delta: d}
+	}
+
 	bloggers := c.BloggerIDs()
 	ids := make([]string, len(bloggers))
 	idx := make(map[BloggerID]int32, len(bloggers))
@@ -124,16 +235,18 @@ func (c *Corpus) LinkCSR() *graph.CSR {
 		fi, okF := idx[l.From]
 		ti, okT := idx[l.To]
 		if !okF || !okT {
-			// Unknown endpoints can only appear in a corpus that fails
-			// Validate; dropping the edge keeps the view well-formed.
 			continue
 		}
 		from = append(from, fi)
 		to = append(to, ti)
 	}
 	csr := graph.NewCSR(ids, from, to)
-	c.linkCSR.Store(&epochCSR{epoch: c.linkEpoch, csr: csr})
-	return csr
+	return &LinkView{
+		epoch:   c.linkEpoch,
+		rebuild: c.linkRebuild,
+		nLinks:  len(c.Links),
+		delta:   graph.NewDeltaCSR(csr),
+	}
 }
 
 // LinkEpoch returns the corpus's link-graph mutation counter. Snapshots
@@ -163,6 +276,9 @@ func (c *Corpus) AddBlogger(b *Blogger) error {
 		return fmt.Errorf("blog: duplicate blogger %q", b.ID)
 	}
 	c.Bloggers[b.ID] = b
+	// A new blogger is a new graph node (it changes the CSR node set and
+	// the PageRank teleport denominator), so this bump is never spurious —
+	// but it does force incremental consumers onto the fresh-base path.
 	c.linkEpoch++
 	return nil
 }
@@ -204,18 +320,34 @@ func (c *Corpus) AddLink(from, to BloggerID) error {
 	if _, ok := c.Bloggers[to]; !ok {
 		return fmt.Errorf("blog: link to unknown blogger %q", to)
 	}
+	// An exact-duplicate edge cannot change the link graph — parallel edges
+	// collapse in every CSR view — so it must not bump the epoch and
+	// invalidate cached views (the link record itself is still kept, for
+	// crawl fidelity on save/load). Only an effectively new edge bumps.
+	dup := false
+	for _, existing := range c.outLinks[from] {
+		if existing == to {
+			dup = true
+			break
+		}
+	}
 	c.Links = append(c.Links, Link{From: from, To: to})
 	c.outLinks[from] = append(c.outLinks[from], to)
 	c.inLinks[to] = append(c.inLinks[to], from)
-	c.linkEpoch++
+	if !dup {
+		c.linkEpoch++
+	}
 	return nil
 }
 
 // Reindex rebuilds all derived indexes from Bloggers, Posts and Links.
 // Call it after deserializing or bulk-editing a corpus. Bulk edits may
-// have changed the link graph arbitrarily, so the link epoch advances.
+// have changed the link graph arbitrarily — including non-append rewrites
+// of Links — so both the link epoch and the rebuild counter advance,
+// forcing incremental link views onto the fresh-base path.
 func (c *Corpus) Reindex() {
 	c.linkEpoch++
+	c.linkRebuild++
 	c.postsByAuthor = map[BloggerID][]PostID{}
 	c.totalComments = map[BloggerID]int{}
 	c.outLinks = map[BloggerID][]BloggerID{}

@@ -29,6 +29,7 @@ func (c *Corpus) Snapshot() *Corpus {
 		outLinks:      make(map[BloggerID][]BloggerID, len(c.outLinks)),
 		inLinks:       make(map[BloggerID][]BloggerID, len(c.inLinks)),
 		linkEpoch:     c.linkEpoch,
+		linkRebuild:   c.linkRebuild,
 	}
 	for id, b := range c.Bloggers {
 		s.Bloggers[id] = b
@@ -48,9 +49,10 @@ func (c *Corpus) Snapshot() *Corpus {
 	for id, in := range c.inLinks {
 		s.inLinks[id] = append(make([]BloggerID, 0, len(in)), in...)
 	}
-	// The snapshot has the same link epoch, so an already-built CSR view of
-	// the hyperlink graph stays valid for it (LinkCSR revalidates by epoch).
-	s.linkCSR.Store(c.linkCSR.Load())
+	// The snapshot has the same link epoch, so an already-built link view
+	// stays valid for it (LinkView revalidates by epoch). Views are
+	// immutable once published, so sharing the pointer is safe.
+	s.linkView.Store(c.linkView.Load())
 	return s
 }
 

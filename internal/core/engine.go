@@ -93,7 +93,15 @@ type EngineStatus struct {
 	ReusedNovelty    int  `json:"reusedNovelty"`
 	ReusedSentiments int  `json:"reusedSentiments"`
 	PageRankSkipped  bool `json:"pageRankSkipped"`
-	Closed           bool `json:"closed"`
+	// Cumulative delta-solver counters since the engine started:
+	// PageRankDelta counts flushes whose GL vector was advanced by the
+	// incremental push solver, PageRankFallback counts flushes where a push
+	// state existed but a full warm sweep ran instead, and PageRankPushed
+	// totals the node pushes performed by the delta solver.
+	PageRankDelta    uint64 `json:"pageRankDelta"`
+	PageRankFallback uint64 `json:"pageRankFallback"`
+	PageRankPushed   uint64 `json:"pageRankPushed"`
+	Closed           bool   `json:"closed"`
 	// LastError is the most recent re-analysis failure ("" when the last
 	// attempt succeeded). Failed analyses keep their mutations pending, so
 	// the flusher retries them on the next tick.
@@ -142,6 +150,13 @@ type Engine struct {
 	kick chan struct{}
 	quit chan struct{}
 	done chan struct{}
+
+	// Cumulative GL delta-solver counters, accumulated at publish time
+	// from each flush's Result. Atomics so Status can read them without
+	// taking analyzeSem.
+	prDelta    atomic.Uint64 // flushes that took the incremental push path
+	prFallback atomic.Uint64 // flushes that fell back to a full warm sweep
+	prPushed   atomic.Uint64 // total node pushes across all delta flushes
 }
 
 // NewEngine builds an engine over an initial corpus (nil means start
@@ -209,6 +224,9 @@ func (e *Engine) Status() EngineStatus {
 		ReusedNovelty:    s.Result().ReusedNovelty,
 		ReusedSentiments: s.Result().ReusedSentiments,
 		PageRankSkipped:  s.Result().PageRankSkipped,
+		PageRankDelta:    e.prDelta.Load(),
+		PageRankFallback: e.prFallback.Load(),
+		PageRankPushed:   e.prPushed.Load(),
 		Closed:           closed,
 		LastError:        lastErr,
 	}
@@ -646,6 +664,15 @@ func (e *Engine) publishWarm(frozen *blog.Corpus, total uint64, prev *influence.
 	sys, err := newSystem(frozen, e.opts.Options, e.cl, e.an, prev, e.cache, seq, e.qcache)
 	if err != nil {
 		return err
+	}
+	if r := sys.Result(); r != nil {
+		if r.PageRankDelta {
+			e.prDelta.Add(1)
+			e.prPushed.Add(uint64(r.PageRankPushed))
+		}
+		if r.PageRankFallback {
+			e.prFallback.Add(1)
+		}
 	}
 	e.snap.Store(&Snapshot{
 		System:    sys,

@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// DeltaCSR is an incremental overlay over a frozen base CSR: edge
+// insertions are accumulated as per-row appended target slices, edge
+// removals as a tombstone set over base edges, and every effective change
+// is recorded in an append-only op log so an incremental consumer (the
+// frontier push solver in internal/linkrank) can replay exactly the ops it
+// has not seen yet. The node set is fixed to the base's — callers that
+// need to add or remove nodes rebuild the base instead (that is the blog
+// layer's "full invalidation" fallback).
+//
+// Mutability contract: a DeltaCSR is mutated by exactly one writer
+// (AddEdge/RemoveEdge) and is safe for concurrent readers only once the
+// writer has stopped — the same freeze-after-build discipline as CSR. The
+// blog layer builds a fresh view per link epoch by Clone()+AddEdge, so
+// published views are immutable and snapshots can share them; Clone deep-
+// copies every overlay row, so extending a clone never disturbs readers of
+// the original.
+//
+// When the overlay grows past a size ratio, Compact() merges it back into
+// a fresh base CSR whose offset/column arrays are byte-identical to
+// NewCSR built from the equivalent full edge list (fuzz-asserted), so
+// compaction is invisible to every CSR consumer.
+type DeltaCSR struct {
+	base *CSR
+	// adds holds the overlay out-rows: targets appended to row i, in
+	// insertion order, disjoint from the effective base row (an edge that
+	// exists un-tombstoned in the base is never also in adds).
+	adds map[int32][]int32
+	// addSet indexes every overlay edge for O(1) duplicate checks.
+	addSet map[int64]struct{}
+	// dels tombstones base edges; always a subset of the base edge set.
+	dels map[int64]struct{}
+	// delsPerRow counts tombstones per source so OutDegree stays O(1).
+	delsPerRow map[int32]int32
+	// log records every effective mutation since the base was frozen, in
+	// application order. Re-adding a tombstoned edge and re-removing an
+	// overlay edge are logged too: the log answers "which rows changed
+	// between op index a and b", not "what is the net delta".
+	log   []EdgeOp
+	nAdds int
+}
+
+// EdgeOp is one effective overlay mutation.
+type EdgeOp struct {
+	From, To int32
+	// Del marks a removal; insertions leave it false.
+	Del bool
+}
+
+// edgeKey packs a dense edge into one comparable map key.
+func edgeKey(from, to int32) int64 {
+	return int64(from)<<32 | int64(uint32(to))
+}
+
+// NewDeltaCSR returns an empty overlay over base.
+func NewDeltaCSR(base *CSR) *DeltaCSR {
+	return &DeltaCSR{
+		base:       base,
+		adds:       map[int32][]int32{},
+		addSet:     map[int64]struct{}{},
+		dels:       map[int64]struct{}{},
+		delsPerRow: map[int32]int32{},
+	}
+}
+
+// Base returns the frozen base CSR the overlay applies to.
+func (d *DeltaCSR) Base() *CSR { return d.base }
+
+// NumNodes returns the node count (fixed to the base's).
+func (d *DeltaCSR) NumNodes() int { return d.base.NumNodes() }
+
+// NumEdges returns the effective deduplicated edge count.
+func (d *DeltaCSR) NumEdges() int { return d.base.NumEdges() - len(d.dels) + d.nAdds }
+
+// OverlaySize reports how many effective ops the overlay has accumulated
+// since the base was frozen — the blog layer's compaction trigger.
+func (d *DeltaCSR) OverlaySize() int { return len(d.log) }
+
+// Ops returns the append-only op log (shared; do not modify). Ops()[k:]
+// is exactly the mutations applied since the log was k long, which is how
+// an incremental solver seeds its residual frontier.
+func (d *DeltaCSR) Ops() []EdgeOp { return d.log }
+
+// Index returns the dense index of id, delegating to the base.
+func (d *DeltaCSR) Index(id string) (int, bool) { return d.base.Index(id) }
+
+// IDs returns the dense node order, delegating to the base.
+func (d *DeltaCSR) IDs() []string { return d.base.IDs }
+
+// baseRowHasEdge reports whether from→to is a base edge (tombstoned or
+// not); base rows are sorted, so this is a binary search.
+func (d *DeltaCSR) baseRowHasEdge(from, to int32) bool {
+	row := d.base.Out(int(from))
+	_, ok := slices.BinarySearch(row, to)
+	return ok
+}
+
+// checkEdge panics on out-of-range endpoints, mirroring NewCSR: a bad
+// dense index is a programmer error, like an out-of-bounds slice index.
+func (d *DeltaCSR) checkEdge(from, to int32) {
+	n := int32(d.base.NumNodes())
+	if from < 0 || from >= n || to < 0 || to >= n {
+		panic(fmt.Sprintf("graph: DeltaCSR edge %d→%d out of range [0,%d)", from, to, n))
+	}
+}
+
+// AddEdge records the insertion of from→to. It reports whether the edge
+// was actually new: inserting an edge that is already effectively present
+// is a no-op (parallel edges collapse, matching NewCSR semantics) and is
+// not logged. Re-adding a tombstoned base edge clears the tombstone.
+func (d *DeltaCSR) AddEdge(from, to int32) bool {
+	d.checkEdge(from, to)
+	k := edgeKey(from, to)
+	if d.baseRowHasEdge(from, to) {
+		if _, gone := d.dels[k]; !gone {
+			return false // present in the base, not tombstoned
+		}
+		delete(d.dels, k)
+		if d.delsPerRow[from]--; d.delsPerRow[from] == 0 {
+			delete(d.delsPerRow, from)
+		}
+	} else {
+		if _, dup := d.addSet[k]; dup {
+			return false
+		}
+		d.addSet[k] = struct{}{}
+		d.adds[from] = append(d.adds[from], to)
+		d.nAdds++
+	}
+	d.log = append(d.log, EdgeOp{From: from, To: to})
+	return true
+}
+
+// RemoveEdge records the removal of from→to. It reports whether the edge
+// was effectively present: removing an absent edge is a no-op and is not
+// logged. A base edge is tombstoned; an overlay edge is spliced out of
+// its row.
+func (d *DeltaCSR) RemoveEdge(from, to int32) bool {
+	d.checkEdge(from, to)
+	k := edgeKey(from, to)
+	if d.baseRowHasEdge(from, to) {
+		if _, gone := d.dels[k]; gone {
+			return false
+		}
+		d.dels[k] = struct{}{}
+		d.delsPerRow[from]++
+	} else {
+		if _, ok := d.addSet[k]; !ok {
+			return false
+		}
+		delete(d.addSet, k)
+		row := d.adds[from]
+		i := slices.Index(row, to)
+		row = slices.Delete(row, i, i+1)
+		if len(row) == 0 {
+			delete(d.adds, from)
+		} else {
+			d.adds[from] = row
+		}
+		d.nAdds--
+	}
+	d.log = append(d.log, EdgeOp{From: from, To: to, Del: true})
+	return true
+}
+
+// HasEdge reports whether from→to is effectively present: a non-tombstoned
+// base edge or an overlay insert. O(log deg) via the sorted base row.
+func (d *DeltaCSR) HasEdge(from, to int32) bool {
+	d.checkEdge(from, to)
+	if d.baseRowHasEdge(from, to) {
+		_, gone := d.dels[edgeKey(from, to)]
+		return !gone
+	}
+	_, ok := d.addSet[edgeKey(from, to)]
+	return ok
+}
+
+// OutDegree returns the effective out-degree of dense node i in O(1).
+func (d *DeltaCSR) OutDegree(i int) int {
+	return d.base.OutDegree(i) - int(d.delsPerRow[int32(i)]) + len(d.adds[int32(i)])
+}
+
+// EachOut visits the effective successors of dense node i: the base row
+// with tombstones skipped, then the overlay appends in insertion order.
+// This is the row-visitor surface the push solver sweeps; unlike CSR.Out
+// the merged row is not sorted (appends come last), which no solver kernel
+// relies on — they only sum over the row.
+func (d *DeltaCSR) EachOut(i int32, visit func(to int32)) {
+	row := d.base.Out(int(i))
+	if d.delsPerRow[i] == 0 {
+		for _, t := range row {
+			visit(t)
+		}
+	} else {
+		for _, t := range row {
+			if _, gone := d.dels[edgeKey(i, t)]; !gone {
+				visit(t)
+			}
+		}
+	}
+	for _, t := range d.adds[i] {
+		visit(t)
+	}
+}
+
+// Touched returns the affected node frontier: the dense indexes of every
+// node whose out-row changed since the base was frozen, ascending. These
+// are exactly the nodes whose out-column of the PageRank operator moved —
+// the seeds of a residual push.
+func (d *DeltaCSR) Touched() []int32 {
+	seen := make(map[int32]struct{}, len(d.log))
+	out := make([]int32, 0, len(d.log))
+	for _, op := range d.log {
+		if _, ok := seen[op.From]; !ok {
+			seen[op.From] = struct{}{}
+			out = append(out, op.From)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Clone returns an independent copy of the overlay sharing the frozen
+// base. Every row slice is deep-copied at exact capacity, so appends to
+// the clone always reallocate and can never be observed through the
+// original — the property that lets the blog layer publish one immutable
+// view per link epoch while building the next epoch's view from it.
+func (d *DeltaCSR) Clone() *DeltaCSR {
+	c := &DeltaCSR{
+		base:       d.base,
+		adds:       make(map[int32][]int32, len(d.adds)),
+		addSet:     make(map[int64]struct{}, len(d.addSet)),
+		dels:       make(map[int64]struct{}, len(d.dels)),
+		delsPerRow: make(map[int32]int32, len(d.delsPerRow)),
+		log:        slices.Clip(slices.Clone(d.log)),
+		nAdds:      d.nAdds,
+	}
+	for i, row := range d.adds {
+		c.adds[i] = slices.Clip(slices.Clone(row))
+	}
+	for k := range d.addSet {
+		c.addSet[k] = struct{}{}
+	}
+	for k := range d.dels {
+		c.dels[k] = struct{}{}
+	}
+	for i, n := range d.delsPerRow {
+		c.delsPerRow[i] = n
+	}
+	return c
+}
+
+// Compact merges the overlay into a fresh base CSR. The result is
+// byte-identical to NewCSR built from the equivalent full edge list
+// (asserted by FuzzDeltaCompaction): out-rows are produced by a linear
+// merge of the sorted base row (tombstones skipped) with the sorted
+// overlay row — no global re-sort — and in-rows by the same
+// sources-ascending transpose NewCSR uses.
+func (d *DeltaCSR) Compact() *CSR {
+	n := d.base.NumNodes()
+	c := &CSR{IDs: d.base.IDs, idx: d.base.idx}
+
+	c.OutOff = make([]int32, n+1)
+	c.OutTo = make([]int32, 0, d.NumEdges())
+	scratch := make([]int32, 0, 16)
+	for i := 0; i < n; i++ {
+		src := int32(i)
+		adds := append(scratch[:0], d.adds[src]...)
+		scratch = adds
+		slices.Sort(adds)
+		base := d.base.Out(i)
+		bi, ai := 0, 0
+		for bi < len(base) || ai < len(adds) {
+			switch {
+			case ai == len(adds) || (bi < len(base) && base[bi] < adds[ai]):
+				t := base[bi]
+				bi++
+				if d.delsPerRow[src] != 0 {
+					if _, gone := d.dels[edgeKey(src, t)]; gone {
+						continue
+					}
+				}
+				c.OutTo = append(c.OutTo, t)
+			default:
+				c.OutTo = append(c.OutTo, adds[ai])
+				ai++
+			}
+		}
+		c.OutOff[i+1] = int32(len(c.OutTo))
+	}
+	c.OutTo = slices.Clip(c.OutTo)
+
+	// Transpose exactly like NewCSR: iterate sources ascending so every
+	// in-row comes out ascending without a second sort.
+	c.InOff = make([]int32, n+1)
+	for _, t := range c.OutTo {
+		c.InOff[t+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.InOff[i+1] += c.InOff[i]
+	}
+	c.InFrom = make([]int32, len(c.OutTo))
+	cursor := make([]int32, n)
+	copy(cursor, c.InOff[:n])
+	for i := int32(0); int(i) < n; i++ {
+		for _, t := range c.OutTo[c.OutOff[i]:c.OutOff[i+1]] {
+			c.InFrom[cursor[t]] = i
+			cursor[t]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c.OutOff[i] == c.OutOff[i+1] {
+			c.Dangling = append(c.Dangling, int32(i))
+		}
+	}
+	return c
+}
+
+// Flatten returns a plain CSR view of the effective graph: the base
+// itself when the overlay is empty (no copy), a Compact() otherwise.
+func (d *DeltaCSR) Flatten() *CSR {
+	if len(d.log) == 0 {
+		return d.base
+	}
+	return d.Compact()
+}

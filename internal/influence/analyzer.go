@@ -110,8 +110,7 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 	}
 
 	// --- GL facet: PageRank over the hyperlink graph (Eq. 1). ---
-	gl, glReused := a.computeGL(c, bloggers, cache)
-	res.PageRankSkipped = glReused
+	gl := a.computeGL(c, bloggers, cache, res)
 	for i, id := range bloggers {
 		res.GL[id] = gl[i]
 	}
@@ -315,41 +314,92 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 	return res, nil
 }
 
-// computeGL runs PageRank over the corpus's hyperlink graph. The solve
-// consumes the corpus's cached CSR view (c.LinkCSR, built once per link
-// epoch and shared by every snapshot of that epoch), whose dense node
-// index is exactly the sorted blogger order — so the kernel's score vector
-// IS the GL slab, with no graph rebuild, no string index, and no score-map
-// round-trip per analysis.
+// computeGL runs PageRank over the corpus's hyperlink graph and records
+// which path it took in res (PageRankSkipped / PageRankDelta /
+// PageRankFallback / PageRankPushed). The solve consumes the corpus's
+// cached link view (c.LinkViewFrom, extended in O(delta) per link epoch),
+// whose dense node index is exactly the sorted blogger order — so the
+// kernel's score vector IS the GL slab, with no graph rebuild, no string
+// index, and no score-map round-trip per analysis.
 //
-// When the cache holds a GL vector for this exact graph (same link epoch,
-// link count and blogger set), the solve is skipped and the vector reused
-// verbatim — bit-for-bit what a fresh solve would produce, since PageRank
-// is deterministic. When the graph changed, the previous vector seeds the
-// iteration as a dense warm start (linkrank.Options.WarmDense) so the
-// solve converges in a handful of sweeps. When the authority facet is
-// disabled the GL vector is all zeros.
-func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID, cache *Cache) (gl []float64, reused bool) {
-	gl = make([]float64, len(bloggers))
+// Path selection, cheapest first:
+//
+//   - unchanged graph and blogger set → reuse the cached vector verbatim
+//     (PageRank is deterministic, so this is bit-for-bit a fresh solve);
+//   - a residual push state from the previous solve, same blogger set, and
+//     the new view extends the old one over the same base CSR → the
+//     Gauss–Southwell delta solver (linkrank.DeltaPageRankCSR) advances
+//     the cached vector in O(delta), touching only nodes the new edges
+//     perturbed;
+//   - otherwise (cold cache, blogger set changed, base compacted, delta
+//     too large, solver budget blown) → a full sweep, warm-started from
+//     the cached vector, after which the push state is rebuilt so the next
+//     flush can take the delta path again.
+//
+// When the authority facet is disabled the GL vector is all zeros.
+func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID, cache *Cache, res *Result) []float64 {
+	gl := make([]float64, len(bloggers))
 	if a.cfg.IgnoreAuthority {
-		return gl, false
+		return gl
 	}
 	if cache.glMatches(c, bloggers) {
 		copy(gl, cache.gl)
-		return gl, true
+		res.PageRankSkipped = true
+		return gl
 	}
-	csr := c.LinkCSR()
 	opts := a.cfg.PageRank
 	if opts.Workers == 0 {
 		opts.Workers = a.cfg.Workers
 	}
-	if opts.Warm == nil && opts.WarmDense == nil {
+	// The push solver runs two orders tighter than the sweep epsilon: a
+	// sweep's truncation error is invisible because warm restarts keep
+	// contracting toward the same fixed point, but push truncation would
+	// accumulate across flushes. Push cost grows only logarithmically with
+	// precision (residuals decay geometrically), so the margin is nearly
+	// free and keeps delta-path scores within sweep-level accuracy.
+	pushOpts := opts
+	if pushOpts.Epsilon == 0 {
+		pushOpts.Epsilon = 1e-12 // sweep default 1e-10, tightened ×100
+	} else if pushOpts.Epsilon > 0 {
+		pushOpts.Epsilon /= 100
+	}
+	view := c.LinkViewFrom(cache.glView)
+	if cache.push != nil {
+		if bloggersEqual(cache.glBloggers, bloggers) {
+			if dres, ok := linkrank.DeltaPageRankCSR(view.Delta(), cache.push, pushOpts); ok {
+				copy(gl, cache.push.Scores())
+				cache.glView = view
+				cache.extendGL(c.LinkEpoch(), c.Links, gl)
+				res.PageRankDelta = true
+				res.PageRankPushed = dres.Pushed
+				return gl
+			}
+		}
+		res.PageRankFallback = true
+	}
+	if opts.WarmDense == nil {
 		opts.WarmDense = cache.glWarmDense(bloggers)
 	}
-	pr := linkrank.PageRankCSR(csr, opts)
+	pr := linkrank.PageRankCSR(view.CSR(), opts)
 	copy(gl, pr.Scores)
+	cache.push = linkrank.NewPushState(view.Delta(), pr.Scores, pushOpts)
+	cache.glView = view
 	cache.storeGL(c.LinkEpoch(), c.Links, bloggers, gl)
-	return gl, false
+	return gl
+}
+
+// bloggersEqual reports whether two sorted blogger lists are identical —
+// the O(V) gate for the delta path, which cannot absorb node-set changes.
+func bloggersEqual(a, b []blog.BloggerID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, id := range a {
+		if b[i] != id {
+			return false
+		}
+	}
+	return true
 }
 
 // computeQuality scores every post: token count normalized by the corpus

@@ -2,6 +2,7 @@ package influence
 
 import (
 	"mass/internal/blog"
+	"mass/internal/linkrank"
 	"mass/internal/novelty"
 	"mass/internal/sentiment"
 )
@@ -47,6 +48,16 @@ type Cache struct {
 	glLinks    []blog.Link
 	glBloggers []blog.BloggerID
 	gl         []float64
+
+	// Incremental GL state: the link view the cached vector was solved
+	// against and the residual push state sitting on top of it. When the
+	// next analysis's view extends glView (same base CSR, a few more
+	// overlay edges), the push solver advances push in O(delta) instead of
+	// re-sweeping the graph. Either field may be nil (cold cache, or the
+	// last solve predates the delta machinery); computeGL then falls back
+	// to a full warm sweep and rebuilds both.
+	glView *blog.LinkView
+	push   *linkrank.PushState
 }
 
 // postFacets are the cached immutable-body derivatives of one post.
@@ -139,6 +150,19 @@ func (ch *Cache) storeGL(epoch uint64, links []blog.Link, bloggers []blog.Blogge
 	ch.glEpoch = epoch
 	ch.glLinks = append(ch.glLinks[:0], links...)
 	ch.glBloggers = append(ch.glBloggers[:0], bloggers...)
+	ch.gl = append(ch.gl[:0], gl...)
+}
+
+// extendGL updates the GL bookkeeping after a delta solve. The blogger set
+// is unchanged by construction (computeGL verifies it before taking the
+// delta path), and links has the cached edge list as a prefix (the link
+// view only extends when the corpus's Links slice grew append-only), so
+// only the new tail is copied — the bookkeeping cost stays O(delta + V),
+// never O(E).
+func (ch *Cache) extendGL(epoch uint64, links []blog.Link, gl []float64) {
+	ch.glValid = true
+	ch.glEpoch = epoch
+	ch.glLinks = append(ch.glLinks, links[len(ch.glLinks):]...)
 	ch.gl = append(ch.gl[:0], gl...)
 }
 

@@ -47,6 +47,16 @@ type Result struct {
 	// the cache because the link graph and blogger set were unchanged since
 	// the previous analysis.
 	PageRankSkipped bool
+	// PageRankDelta reports that the GL facet was updated by the frontier
+	// push solver over the link-epoch delta instead of a full sweep.
+	PageRankDelta bool
+	// PageRankFallback reports that an incremental push state existed but
+	// the analysis fell back to a full (warm) sweep — the delta was too
+	// large, the base CSR was compacted away, or the blogger set changed.
+	PageRankFallback bool
+	// PageRankPushed counts node pushes performed by the delta solver this
+	// analysis (0 unless PageRankDelta).
+	PageRankPushed int
 
 	// Dense domain core. bloggers/posts are the sorted entity lists the
 	// analysis ran over; the slabs are row-major [entity][domain].

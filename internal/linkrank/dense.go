@@ -119,52 +119,35 @@ func sweepWorkers(opts Options, n int) int {
 }
 
 // warmVector fills cur with the normalized warm-start distribution:
-// WarmDense entries (aligned to c) take precedence, then the Warm map,
-// then the uniform start. Non-positive or missing entries fall back to the
-// uniform floor, so the seed is always a valid distribution. Reports
-// whether any warm source was present.
-func warmVector(c *graph.CSR, opts Options, cur []float64) bool {
+// WarmDense entries (aligned to c), or the uniform start. Non-positive or
+// missing entries fall back to the uniform floor, so the seed is always a
+// valid distribution. Reports whether a warm source was present.
+func warmVector(opts Options, cur []float64) bool {
 	n := len(cur)
 	uniform := 1 / float64(n)
-	switch {
-	case len(opts.WarmDense) > 0:
-		var sum float64
-		for i := range cur {
-			v := 0.0
-			if i < len(opts.WarmDense) {
-				v = opts.WarmDense[i]
-			}
-			if v > 0 {
-				cur[i] = v
-			} else {
-				cur[i] = uniform
-			}
-			sum += cur[i]
-		}
-		for i := range cur {
-			cur[i] /= sum
-		}
-		return true
-	case len(opts.Warm) > 0:
-		var sum float64
-		for i, id := range c.IDs {
-			if v, ok := opts.Warm[id]; ok && v > 0 {
-				cur[i] = v
-			} else {
-				cur[i] = uniform
-			}
-			sum += cur[i]
-		}
-		for i := range cur {
-			cur[i] /= sum
-		}
-		return true
-	default:
+	if len(opts.WarmDense) == 0 {
 		for i := range cur {
 			cur[i] = uniform
 		}
 		return false
 	}
+	var sum float64
+	for i := range cur {
+		v := 0.0
+		if i < len(opts.WarmDense) {
+			v = opts.WarmDense[i]
+		}
+		if v > 0 {
+			cur[i] = v
+		} else {
+			cur[i] = uniform
+		}
+		sum += cur[i]
+	}
+	for i := range cur {
+		cur[i] /= sum
+	}
+	return true
 }
 
 // prState is the PageRank sweep workspace; the sweep closure is created
@@ -223,7 +206,7 @@ func PageRankCSR(c *graph.CSR, opts Options) DenseResult {
 		contrib: make([]float64, n),
 		damp:    opts.Damping,
 	}
-	warmVector(c, opts, cur)
+	warmVector(opts, cur)
 	base := (1 - opts.Damping) / float64(n)
 
 	workers := sweepWorkers(opts, n)

@@ -51,23 +51,24 @@ type Options struct {
 	// rows are pull-summed by exactly one goroutine each and every global
 	// reduction runs serially, so only wall time changes.
 	Workers int
-	// Warm optionally seeds the PageRank iteration with a previous score
-	// vector instead of the uniform start. When the graph changed only
-	// slightly since Warm was computed, the iteration starts near the new
-	// fixed point and converges in far fewer sweeps. Nodes missing from
-	// Warm start at 1/n; the seed is renormalized to sum to 1, so the
+	// WarmDense optionally seeds the PageRank iteration with a previous
+	// score vector instead of the uniform start, aligned to the CSR node
+	// index the solver runs over (WarmDense[i] seeds CSR.IDs[i]). When the
+	// graph changed only slightly since the vector was computed, the
+	// iteration starts near the new fixed point and converges in far fewer
+	// sweeps. Entries ≤ 0 (and indexes beyond its length) fall back to the
+	// uniform floor; the seed is renormalized to sum to 1, so the
 	// stochastic invariant (and the converged result, which is unique for
-	// Damping < 1) is unaffected. Ignored by HITS.
-	//
-	// Warm is the compatibility shim for map-keyed callers; incremental
-	// pipelines should carry the previous vector densely in WarmDense and
-	// skip the map entirely.
-	Warm map[string]float64
-	// WarmDense is the dense warm start: scores aligned to the CSR node
-	// index the solver runs over (WarmDense[i] seeds CSR.IDs[i]). Takes
-	// precedence over Warm. Entries ≤ 0 (and indexes beyond its length)
-	// fall back to the uniform floor, exactly like IDs missing from Warm.
+	// Damping < 1) is unaffected. Ignored by HITS. A map-keyed Warm shim
+	// existed through PR 5; callers with map scores reindex them densely.
 	WarmDense []float64
+	// FallbackMass bounds the residual L1 mass DeltaPageRankCSR will try
+	// to push away incrementally: a delta that seeds more residual mass
+	// than this falls back to a full warm sweep, which re-converges the
+	// whole vector in O(graph) but with better constants than a huge push
+	// cascade. Default 0.01 (1% of the unit score mass); negative values
+	// (including ExplicitZero) mean 0, i.e. every delta falls back.
+	FallbackMass float64
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +91,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 1 {
 		o.Workers = 1
+	}
+	switch {
+	case o.FallbackMass == 0:
+		o.FallbackMass = 0.01
+	case o.FallbackMass < 0:
+		o.FallbackMass = 0
 	}
 	return o
 }

@@ -124,6 +124,17 @@ func TestPageRankExplicitZeroEpsilon(t *testing.T) {
 	}
 }
 
+// denseScores reindexes map-keyed scores into the dense WarmDense layout
+// aligned to g's CSR node order.
+func denseScores(g *graph.Directed, scores map[string]float64) []float64 {
+	csr := g.CSR()
+	dense := make([]float64, csr.NumNodes())
+	for i, id := range csr.IDs {
+		dense[i] = scores[id]
+	}
+	return dense
+}
+
 func TestPageRankWarmStartSameFixedPoint(t *testing.T) {
 	g := graph.New()
 	rng := rand.New(rand.NewSource(5))
@@ -138,7 +149,7 @@ func TestPageRankWarmStartSameFixedPoint(t *testing.T) {
 		}
 	}
 	cold := PageRank(g, Options{})
-	warm := PageRank(g, Options{Warm: cold.Scores})
+	warm := PageRank(g, Options{WarmDense: denseScores(g, cold.Scores)})
 	if !warm.Converged {
 		t.Fatal("warm start must converge")
 	}
@@ -156,11 +167,11 @@ func TestPageRankWarmStartSameFixedPoint(t *testing.T) {
 }
 
 func TestPageRankWarmStartPartialVector(t *testing.T) {
-	// Warm vectors from a smaller graph (missing nodes, stale mass) must
+	// Warm vectors from a smaller graph (short, with stale mass) must
 	// still be renormalized into a valid start and reach the fixed point.
 	g := chain()
 	cold := PageRank(g, Options{})
-	warm := PageRank(g, Options{Warm: map[string]float64{"a": 0.9, "zz": 4}})
+	warm := PageRank(g, Options{WarmDense: []float64{0.9}})
 	for id, s := range cold.Scores {
 		if math.Abs(warm.Scores[id]-s) > 1e-8 {
 			t.Fatalf("partial warm start diverged for %s: %v vs %v", id, warm.Scores[id], s)

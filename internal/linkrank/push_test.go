@@ -1,0 +1,353 @@
+package linkrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mass/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+// buildCSR constructs a base CSR over n nodes from dense edge pairs.
+func buildCSR(t testing.TB, n int, edges [][2]int32) *graph.CSR {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%03d", i)
+	}
+	from := make([]int32, len(edges))
+	to := make([]int32, len(edges))
+	for k, e := range edges {
+		from[k], to[k] = e[0], e[1]
+	}
+	c := graph.NewCSR(ids, from, to)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("base CSR invalid: %v", err)
+	}
+	return c
+}
+
+// coldReference solves the view's effective graph from scratch with a fixed
+// sweep count and no convergence cutoff: 300 damped sweeps contract any
+// start to the fixed point far below 1e-12 (0.85^300 ≈ 4e-22), so the
+// result is the machine-precision ground truth the push solver is compared
+// against.
+func coldReference(view *graph.DeltaCSR, workers int) []float64 {
+	res := PageRankCSR(view.Flatten(), Options{
+		Epsilon: ExplicitZero,
+		MaxIter: 300,
+		Workers: workers,
+	})
+	return res.Scores
+}
+
+// pushTestOpts are the solver options every equivalence test uses: epsilon
+// tight enough that the n·eps/(1−d) error bound stays under 1e-12 for the
+// graph sizes involved, a push budget far above the default (tight epsilon
+// on dense little graphs can exceed MaxIter·n pushes), and a fallback bound
+// high enough that no delta is refused.
+var pushTestOpts = Options{
+	Epsilon:      1e-15,
+	MaxIter:      100000,
+	FallbackMass: 1e18,
+}
+
+// assertDeltaMatchesCold runs the delta solver and compares against a cold
+// dense reference of the same effective graph.
+func assertDeltaMatchesCold(t *testing.T, view *graph.DeltaCSR, st *PushState, workers int, label string) DeltaResult {
+	t.Helper()
+	res, ok := DeltaPageRankCSR(view, st, pushTestOpts)
+	if !ok {
+		t.Fatalf("%s: delta solver refused (seeded %d, mass %v)", label, res.Seeded, st.ResidualMass())
+	}
+	want := coldReference(view, workers)
+	got := st.Scores()
+	if len(got) != len(want) {
+		t.Fatalf("%s: score length %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-12 {
+			t.Fatalf("%s: node %d delta %v vs cold %v (diff %.3e)", label, i, got[i], want[i], d)
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence: delta == cold dense solve to ≤ 1e-12.
+
+// TestDeltaPageRankSingleFlush covers the canonical shapes by hand: edge
+// adds into a chain, removal that creates a dangling node, a self-link, and
+// a disconnected island.
+func TestDeltaPageRankSingleFlush(t *testing.T) {
+	base := buildCSR(t, 7, [][2]int32{
+		{0, 1}, {1, 2}, {2, 0}, // cycle
+		{3, 3},                 // self-link
+		{4, 0},                 // feeder; 5, 6 disconnected
+	})
+	view := graph.NewDeltaCSR(base)
+	cold := coldReference(view, 1)
+	st := NewPushState(view, cold, pushTestOpts)
+
+	view.AddEdge(5, 2)              // island joins the cycle
+	view.AddEdge(6, 6)              // island self-link
+	view.RemoveEdge(3, 3)           // self-link node becomes dangling
+	view.AddEdge(2, 4)              // back edge
+	view.RemoveEdge(4, 0)           // feeder becomes dangling
+	res := assertDeltaMatchesCold(t, view, st, 1, "hand-built flush")
+	if res.Seeded == 0 || res.Pushed == 0 {
+		t.Fatalf("flush must seed and push: %+v", res)
+	}
+}
+
+// TestDeltaPageRankNoOpFlush: a flush whose ops cancel (add then remove)
+// must seed nothing and leave the converged scores untouched.
+func TestDeltaPageRankNoOpFlush(t *testing.T) {
+	base := buildCSR(t, 4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	view := graph.NewDeltaCSR(base)
+	st := NewPushState(view, coldReference(view, 1), pushTestOpts)
+	if _, ok := DeltaPageRankCSR(view, st, pushTestOpts); !ok {
+		t.Fatal("initial settle refused")
+	}
+	before := append([]float64(nil), st.Scores()...)
+
+	view.AddEdge(0, 2)
+	view.RemoveEdge(0, 2)
+	res, ok := DeltaPageRankCSR(view, st, pushTestOpts)
+	if !ok || res.Seeded != 0 {
+		t.Fatalf("cancelling ops must seed nothing: ok=%v res=%+v", ok, res)
+	}
+	for i, s := range st.Scores() {
+		if s != before[i] {
+			t.Fatalf("score %d moved on a no-op flush: %v vs %v", i, s, before[i])
+		}
+	}
+}
+
+// TestDeltaPageRankRandomized is the main property test: random base graphs
+// (danglings, self-links and disconnected nodes all occur naturally),
+// random multi-flush delta sequences mixing adds and removals, checked
+// against a cold dense solve after every flush, across worker counts on the
+// reference side (the push solver itself is serial and deterministic).
+func TestDeltaPageRankRandomized(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		n := 2 + rng.Intn(40)
+		var edges [][2]int32
+		for k := rng.Intn(3 * n); k > 0; k-- {
+			edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		base := buildCSR(t, n, edges)
+		view := graph.NewDeltaCSR(base)
+		workers := 1 + 2*(trial%2) // cold side alternates 1 and 3 workers
+		st := NewPushState(view, coldReference(view, workers), pushTestOpts)
+
+		flushes := 1 + rng.Intn(5)
+		for f := 0; f < flushes; f++ {
+			for m := 1 + rng.Intn(8); m > 0; m-- {
+				from, to := int32(rng.Intn(n)), int32(rng.Intn(n))
+				if rng.Intn(3) == 0 {
+					view.RemoveEdge(from, to)
+				} else {
+					view.AddEdge(from, to)
+				}
+			}
+			assertDeltaMatchesCold(t, view, st, workers,
+				fmt.Sprintf("trial %d flush %d (n=%d)", trial, f, n))
+		}
+	}
+}
+
+// TestDeltaPageRankDeterministic: identical (state, delta) sequences must
+// produce bit-identical scores — the solver is serial with a fixed seeding
+// and queue order.
+func TestDeltaPageRankDeterministic(t *testing.T) {
+	run := func() []float64 {
+		base := buildCSR(t, 12, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 1}, {5, 6}})
+		view := graph.NewDeltaCSR(base)
+		st := NewPushState(view, coldReference(view, 1), pushTestOpts)
+		view.AddEdge(7, 0)
+		view.AddEdge(8, 3)
+		view.RemoveEdge(1, 2)
+		if _, ok := DeltaPageRankCSR(view, st, pushTestOpts); !ok {
+			t.Fatal("delta refused")
+		}
+		view.AddEdge(1, 2)
+		view.AddEdge(9, 9)
+		if _, ok := DeltaPageRankCSR(view, st, pushTestOpts); !ok {
+			t.Fatal("second delta refused")
+		}
+		return append([]float64(nil), st.Scores()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run differs at node %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// State bootstrap and stopping contract.
+
+// TestNewPushStateExactResidual: built from a machine-precision solve, the
+// state's residual mass must be at noise level; built from a sloppy solve,
+// it must reflect the real distance so the first delta call finishes the
+// job.
+func TestNewPushStateExactResidual(t *testing.T) {
+	base := buildCSR(t, 9, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 1}, {4, 4}, {5, 0}})
+	view := graph.NewDeltaCSR(base)
+
+	tight := NewPushState(view, coldReference(view, 1), pushTestOpts)
+	if m := tight.ResidualMass(); m > 1e-12 {
+		t.Fatalf("residual after exact solve = %v, want ~0", m)
+	}
+
+	sloppy := PageRankCSR(base, Options{Epsilon: ExplicitZero, MaxIter: 3})
+	st := NewPushState(view, sloppy.Scores, pushTestOpts)
+	if m := st.ResidualMass(); m < 1e-6 {
+		t.Fatalf("residual after 3 sweeps = %v, should be far from converged", m)
+	}
+	// No ops at all: the delta call just polishes the leftover residual.
+	assertDeltaMatchesCold(t, view, st, 1, "polish-only")
+}
+
+// TestDeltaPageRankStopsUnderEpsilon: after a successful solve the residual
+// bound must actually be under the configured epsilon per node.
+func TestDeltaPageRankStopsUnderEpsilon(t *testing.T) {
+	base := buildCSR(t, 20, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {5, 0}, {6, 5}})
+	view := graph.NewDeltaCSR(base)
+	opts := Options{Epsilon: 1e-9, MaxIter: 10000, FallbackMass: 1e18}
+	st := NewPushState(view, coldReference(view, 1), opts)
+	view.AddEdge(7, 2)
+	view.AddEdge(8, 2)
+	res, ok := DeltaPageRankCSR(view, st, opts)
+	if !ok {
+		t.Fatal("delta refused")
+	}
+	if res.ResidualMass > 20*1e-9 {
+		t.Fatalf("residual mass %v exceeds n·eps", res.ResidualMass)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fallback and decline conditions.
+
+func TestDeltaPageRankFallsBackOnMass(t *testing.T) {
+	base := buildCSR(t, 30, [][2]int32{{0, 1}, {1, 0}})
+	view := graph.NewDeltaCSR(base)
+	opts := Options{Epsilon: 1e-12, MaxIter: 10000, FallbackMass: 1e-9}
+	st := NewPushState(view, coldReference(view, 1), opts)
+	if _, ok := DeltaPageRankCSR(view, st, opts); !ok {
+		t.Fatal("settle with no ops must succeed")
+	}
+	// A big structural delta seeds far more than FallbackMass.
+	for i := int32(2); i < 30; i++ {
+		view.AddEdge(i, 0)
+		view.AddEdge(0, i)
+	}
+	res, ok := DeltaPageRankCSR(view, st, opts)
+	if ok {
+		t.Fatalf("huge delta must refuse under FallbackMass=1e-9: %+v", res)
+	}
+	if res.Seeded == 0 {
+		t.Fatal("refusal must happen after seeding, reporting the frontier size")
+	}
+	// The caller's documented recovery: full solve, fresh state. (With a
+	// non-degenerate mass bound — 1e-9 refuses even a single-edge delta.)
+	recover := opts
+	recover.FallbackMass = 0.5
+	st = NewPushState(view, coldReference(view, 1), recover)
+	view.AddEdge(1, 2)
+	if _, ok := DeltaPageRankCSR(view, st, recover); !ok {
+		t.Fatal("rebuilt state must accept a small delta again")
+	}
+}
+
+func TestDeltaPageRankDeclines(t *testing.T) {
+	base := buildCSR(t, 5, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+	view := graph.NewDeltaCSR(base)
+	st := NewPushState(view, coldReference(view, 1), pushTestOpts)
+
+	if _, ok := DeltaPageRankCSR(view, nil, pushTestOpts); ok {
+		t.Fatal("nil state must decline")
+	}
+	bad := pushTestOpts
+	bad.Damping = 0.5
+	if _, ok := DeltaPageRankCSR(view, st, bad); ok {
+		t.Fatal("damping change must decline")
+	}
+	bad = pushTestOpts
+	bad.Epsilon = ExplicitZero
+	if _, ok := DeltaPageRankCSR(view, st, bad); ok {
+		t.Fatal("epsilon=0 (sweep forever) must decline")
+	}
+	// A recompacted view has a different base CSR: stale state declines.
+	view.AddEdge(3, 4)
+	rebased := graph.NewDeltaCSR(view.Compact())
+	if _, ok := DeltaPageRankCSR(rebased, st, pushTestOpts); ok {
+		t.Fatal("base change must decline")
+	}
+	// The original view still works with the original state.
+	if _, ok := DeltaPageRankCSR(view, st, pushTestOpts); !ok {
+		t.Fatal("original view must still be accepted")
+	}
+}
+
+func TestDeltaPageRankEmptyGraph(t *testing.T) {
+	view := graph.NewDeltaCSR(graph.NewCSR(nil, nil, nil))
+	st := NewPushState(view, nil, pushTestOpts)
+	if _, ok := DeltaPageRankCSR(view, st, pushTestOpts); !ok {
+		t.Fatal("empty graph must trivially succeed")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation contract.
+
+// TestPushLoopAllocFree pins the O(1)-allocations-per-solve contract: an
+// add/remove/solve cycle that seeds and pushes every round must average a
+// small constant number of allocations — overlay bookkeeping and amortized
+// op-log growth — independent of how many pushes run. Any per-push or
+// per-seeded-node allocation would multiply through the hundreds of pushes
+// each cycle performs.
+func TestPushLoopAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 300
+	var edges [][2]int32
+	for k := 0; k < 1500; k++ {
+		edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	base := buildCSR(t, n, edges)
+	view := graph.NewDeltaCSR(base)
+	opts := Options{Epsilon: 1e-12, MaxIter: 100000, FallbackMass: 1e18}
+	st := NewPushState(view, coldReference(view, 1), opts)
+
+	flip := func(from, to int32) {
+		view.AddEdge(from, to)
+		if _, ok := DeltaPageRankCSR(view, st, opts); !ok {
+			t.Fatal("delta refused")
+		}
+		view.RemoveEdge(from, to)
+		if _, ok := DeltaPageRankCSR(view, st, opts); !ok {
+			t.Fatal("delta refused")
+		}
+	}
+	flip(7, 250) // warm up workspace (flip map, scratch, overlay rows)
+	var pushes uint64
+	avg := testing.AllocsPerRun(50, func() {
+		before := st.totalPushes
+		flip(7, 250)
+		pushes += st.totalPushes - before
+	})
+	if pushes == 0 {
+		t.Fatal("cycle performed no pushes — alloc assertion would be vacuous")
+	}
+	if avg > 8 {
+		t.Fatalf("add/remove/solve cycle averages %v allocs (%d pushes total) — push loop is allocating", avg, pushes)
+	}
+}
