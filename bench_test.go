@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -27,6 +28,7 @@ import (
 	"mass/internal/blog"
 	"mass/internal/blogserver"
 	"mass/internal/classify"
+	"mass/internal/core"
 	"mass/internal/crawler"
 	"mass/internal/experiments"
 	"mass/internal/graph"
@@ -35,6 +37,7 @@ import (
 	"mass/internal/query"
 	"mass/internal/rank"
 	"mass/internal/synth"
+	"mass/internal/wal"
 	"mass/internal/xmlstore"
 )
 
@@ -837,4 +840,136 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // writeCorpus adapts xmlstore.Write for the persistence benchmark.
 func writeCorpus(w *countingWriter, c *blog.Corpus) error {
 	return xmlstore.Write(w, c)
+}
+
+// BenchmarkRestartRecovery measures restart-to-serving: recovering a
+// durable data directory (binary snapshot + 50-record WAL tail, the
+// crash-recovery path) versus re-parsing the XML corpus and re-analyzing
+// from scratch (the only restart story before the WAL existed). The
+// snapshot carries the analysis warm cache, so the recovered engine's
+// first flush reuses posteriors, shingles and the PageRank vector instead
+// of recomputing them; BENCH_PR7.json records the gap.
+func BenchmarkRestartRecovery(b *testing.B) {
+	corpus, _, err := synth.Generate(synth.Config{Seed: 2010, Bloggers: 500, Posts: 5000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grown := corpus.Snapshot() // XML side of the comparison, same final state
+	var maxPosted time.Time
+	for _, p := range corpus.Posts {
+		if p.Posted.After(maxPosted) {
+			maxPosted = p.Posted
+		}
+	}
+	authors := corpus.BloggerIDs()
+	tail := make([]wal.Op, 0, 50)
+	for i := 0; i < 50; i++ {
+		post := &blog.Post{
+			ID: blog.PostID(fmt.Sprintf("tail-%d", i)), Author: authors[i%17],
+			Posted: maxPosted.Add(time.Duration(i+1) * time.Minute),
+			Body:   fmt.Sprintf("late-breaking travel notes with sports commentary, issue %d", i),
+		}
+		tail = append(tail, wal.Op{Kind: wal.OpPost, Post: post})
+		if err := grown.AddPost(post); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	scratch := b.TempDir()
+	master := filepath.Join(scratch, "master")
+	durOpts := func(dir string) core.EngineOptions {
+		return core.EngineOptions{
+			FlushEvery: 1 << 20, FlushInterval: time.Hour,
+			Durability: core.DurabilityOptions{
+				Dir: dir, SyncEvery: 1 << 20, SyncInterval: -1, CheckpointEvery: 1 << 20,
+			},
+		}
+	}
+	// Build the master directory once: boot checkpoint of the analyzed
+	// corpus, then a 50-record tail appended as if the process crashed
+	// before the next checkpoint.
+	me, err := core.NewEngine(corpus, durOpts(master))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := me.Close(); err != nil {
+		b.Fatal(err)
+	}
+	l, _, err := wal.Open(wal.Options{Dir: master, SyncEvery: 1 << 20, SyncInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Append(tail...); err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	xmlPath := filepath.Join(scratch, "corpus.xml")
+	if err := xmlstore.Save(xmlPath, grown); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("wal-restart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := filepath.Join(scratch, fmt.Sprintf("run-%d", i))
+			if err := copyTree(master, dir); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			e, err := core.NewEngine(nil, durOpts(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if st := e.Status(); st.RecoveredRecords != len(tail) {
+				b.Fatalf("recovered %d records, want %d", st.RecoveredRecords, len(tail))
+			}
+			if got := len(e.Current().Corpus().Posts); got != len(grown.Posts) {
+				b.Fatalf("recovered %d posts, want %d", got, len(grown.Posts))
+			}
+			e.Close()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+	b.Run("xml-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := xmlstore.Load(xmlPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := core.NewEngine(c, core.EngineOptions{
+				FlushEvery: 1 << 20, FlushInterval: time.Hour,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			e.Close()
+			b.StartTimer()
+		}
+	})
+}
+
+// copyTree clones a (flat) data directory for a benchmark iteration.
+func copyTree(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"mass/internal/classify"
 	"mass/internal/influence"
 	"mass/internal/query"
+	"mass/internal/wal"
 )
 
 // EngineOptions configures a live Engine.
@@ -28,6 +29,9 @@ type EngineOptions struct {
 	// FlushInterval re-analyzes pending mutations at least this often, even
 	// below the FlushEvery threshold. Default 2s.
 	FlushInterval time.Duration
+	// Durability enables write-ahead logging, checkpointing, and crash
+	// recovery when its Dir is set. Zero value = in-memory only.
+	Durability DurabilityOptions
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
@@ -101,7 +105,18 @@ type EngineStatus struct {
 	PageRankDelta    uint64 `json:"pageRankDelta"`
 	PageRankFallback uint64 `json:"pageRankFallback"`
 	PageRankPushed   uint64 `json:"pageRankPushed"`
-	Closed           bool   `json:"closed"`
+	// Durability counters (all zero/-1-clean when durability is off):
+	// WALRecords is the lifetime record count of the data directory,
+	// WALSyncs the fsyncs issued by this process, Checkpoints the snapshots
+	// written by this process, RecoveredRecords the log-tail records
+	// replayed at boot, and RecoveryTruncatedAt the byte offset at which
+	// boot recovery cut a torn or corrupt log tail (-1 = log was clean).
+	WALRecords          uint64 `json:"walRecords"`
+	WALSyncs            uint64 `json:"walSyncs"`
+	Checkpoints         uint64 `json:"checkpoints"`
+	RecoveredRecords    int    `json:"recoveredRecords"`
+	RecoveryTruncatedAt int64  `json:"recoveryTruncatedAt"`
+	Closed              bool   `json:"closed"`
 	// LastError is the most recent re-analysis failure ("" when the last
 	// attempt succeeded). Failed analyses keep their mutations pending, so
 	// the flusher retries them on the next tick.
@@ -157,12 +172,32 @@ type Engine struct {
 	prDelta    atomic.Uint64 // flushes that took the incremental push path
 	prFallback atomic.Uint64 // flushes that fell back to a full warm sweep
 	prPushed   atomic.Uint64 // total node pushes across all delta flushes
+
+	// Durability state. wal is nil when durability is disabled. walIdx (the
+	// index of the last record appended by this engine) is guarded by mu —
+	// it advances under the same lock as the corpus mutation it logs, so a
+	// corpus frozen under mu is exactly the state at walIdx. lastCkpt and
+	// hasCkpt are touched only under analyzeSem; seq0, ckptEvery, recovered
+	// and recTruncated are fixed at construction.
+	wal          *wal.Log
+	ckptEvery    int
+	walIdx       uint64
+	lastCkpt     uint64
+	hasCkpt      bool
+	ckpts        atomic.Uint64
+	recovered    int   // WAL tail records replayed at boot
+	recTruncated int64 // byte offset recovery truncated at; -1 = clean
+	seq0         uint64
 }
 
 // NewEngine builds an engine over an initial corpus (nil means start
 // empty), runs the initial analysis synchronously so Current never returns
 // nil, and starts the background flusher. Callers must Close the engine to
 // stop it.
+//
+// With durability enabled, the data directory is recovered first; when it
+// holds any durable state, that state replaces the provided initial corpus
+// (the preload only seeds the very first boot).
 func NewEngine(c *blog.Corpus, opts EngineOptions) (*Engine, error) {
 	opts = opts.withDefaults()
 	if c == nil {
@@ -177,18 +212,33 @@ func NewEngine(c *blog.Corpus, opts EngineOptions) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		opts:       opts,
-		cl:         cl,
-		an:         an,
-		cache:      influence.NewCache(),
-		qcache:     query.NewCache(),
-		corpus:     c,
-		analyzeSem: make(chan struct{}, 1),
-		kick:       make(chan struct{}, 1),
-		quit:       make(chan struct{}),
-		done:       make(chan struct{}),
+		opts:         opts,
+		cl:           cl,
+		an:           an,
+		cache:        influence.NewCache(),
+		qcache:       query.NewCache(),
+		corpus:       c,
+		analyzeSem:   make(chan struct{}, 1),
+		kick:         make(chan struct{}, 1),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		recTruncated: -1,
 	}
-	if err := e.rebuild(nil); err != nil {
+	var prev *influence.Result
+	if opts.Durability.Enabled() {
+		prev, err = e.openDurable(opts.Durability)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.rebuild(prev); err != nil {
+		if e.wal != nil {
+			e.wal.Close()
+		}
+		return nil, err
+	}
+	if err := e.bootCheckpoint(); err != nil {
+		e.wal.Close()
 		return nil, err
 	}
 	go e.flusher()
@@ -210,26 +260,35 @@ func (e *Engine) Status() EngineStatus {
 	}
 	e.mu.Unlock()
 	s := e.Current()
-	return EngineStatus{
-		Seq:              s.Seq,
-		Pending:          pending,
-		TotalMutations:   total,
-		Bloggers:         bloggers,
-		Posts:            posts,
-		Links:            links,
-		LastAnalysis:     s.Elapsed,
-		Iterations:       s.Result().Iterations,
-		Converged:        s.Result().Converged,
-		ReusedPosteriors: s.Result().ReusedPosteriors,
-		ReusedNovelty:    s.Result().ReusedNovelty,
-		ReusedSentiments: s.Result().ReusedSentiments,
-		PageRankSkipped:  s.Result().PageRankSkipped,
-		PageRankDelta:    e.prDelta.Load(),
-		PageRankFallback: e.prFallback.Load(),
-		PageRankPushed:   e.prPushed.Load(),
-		Closed:           closed,
-		LastError:        lastErr,
+	st := EngineStatus{
+		Seq:                 s.Seq,
+		Pending:             pending,
+		TotalMutations:      total,
+		Bloggers:            bloggers,
+		Posts:               posts,
+		Links:               links,
+		LastAnalysis:        s.Elapsed,
+		Iterations:          s.Result().Iterations,
+		Converged:           s.Result().Converged,
+		ReusedPosteriors:    s.Result().ReusedPosteriors,
+		ReusedNovelty:       s.Result().ReusedNovelty,
+		ReusedSentiments:    s.Result().ReusedSentiments,
+		PageRankSkipped:     s.Result().PageRankSkipped,
+		PageRankDelta:       e.prDelta.Load(),
+		PageRankFallback:    e.prFallback.Load(),
+		PageRankPushed:      e.prPushed.Load(),
+		Checkpoints:         e.ckpts.Load(),
+		RecoveredRecords:    e.recovered,
+		RecoveryTruncatedAt: e.recTruncated,
+		Closed:              closed,
+		LastError:           lastErr,
 	}
+	if e.wal != nil {
+		ws := e.wal.Stats()
+		st.WALRecords = ws.Records
+		st.WALSyncs = ws.Syncs
+	}
+	return st
 }
 
 // --------------------------------------------------------------- mutation
@@ -238,22 +297,38 @@ func (e *Engine) Status() EngineStatus {
 // many mutations it actually applied (deduplicated re-deliveries count
 // zero, so idempotent re-crawls don't trigger pointless re-analyses);
 // reaching the debounce threshold kicks the flusher.
-func (e *Engine) mutate(fn func(c *blog.Corpus) (int, error)) error {
+//
+// fn stages the ops it applied on w, which is nil (a no-op sink) when
+// durability is off. Successful ops are appended to the WAL before mutate
+// returns, still under the write lock, so log order is exactly apply order
+// and a corpus frozen under the lock matches the WAL prefix at walIdx. An
+// append failure is returned to the caller — the mutation is applied in
+// memory but is NOT durable, and the WAL's sticky fail-stop makes every
+// later mutation fail too, so the divergence cannot silently grow.
+func (e *Engine) mutate(fn func(c *blog.Corpus, w *wal.Batch) (int, error)) error {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
-		e.mu.Unlock()
 		return fmt.Errorf("core: engine is closed")
 	}
-	n, err := fn(e.corpus)
+	var w *wal.Batch
+	if e.wal != nil {
+		w = &wal.Batch{}
+	}
+	n, err := fn(e.corpus, w)
 	if err != nil {
-		e.mu.Unlock()
 		return err
+	}
+	if w.Len() > 0 {
+		if err := e.wal.Append(w.Ops()...); err != nil {
+			e.lastErr = err
+			return err
+		}
+		e.walIdx += uint64(w.Len())
 	}
 	e.pending += n
 	e.total += uint64(n)
-	ready := e.pending >= e.opts.FlushEvery
-	e.mu.Unlock()
-	if ready {
+	if e.pending >= e.opts.FlushEvery {
 		select {
 		case e.kick <- struct{}{}:
 		default:
@@ -275,7 +350,7 @@ func ensureBlogger(c *blog.Corpus, id blog.BloggerID) error {
 
 // AddBlogger inserts or enriches a blogger profile.
 func (e *Engine) AddBlogger(b *blog.Blogger) error {
-	return e.mutate(func(c *blog.Corpus) (int, error) {
+	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {
 		if err := validateBlogger(b); err != nil {
 			return 0, err
 		}
@@ -287,6 +362,7 @@ func (e *Engine) AddBlogger(b *blog.Blogger) error {
 		if err := c.UpsertBlogger(b); err != nil {
 			return 0, err
 		}
+		w.Blogger(b)
 		return 1, nil
 	})
 }
@@ -308,10 +384,11 @@ func validateBlogger(b *blog.Blogger) error {
 // AddPost ingests a new post. The author and commenters are admitted as
 // stubs when unknown; a duplicate post ID is an error.
 func (e *Engine) AddPost(p *blog.Post) error {
-	return e.mutate(func(c *blog.Corpus) (int, error) {
+	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {
 		if err := addPost(c, p); err != nil {
 			return 0, err
 		}
+		w.Post(p)
 		return 1, nil
 	})
 }
@@ -355,7 +432,7 @@ func addPost(c *blog.Corpus, p *blog.Post) error {
 // commenter as a stub when unknown. The post is checked first so a
 // rejected comment leaves no stub behind.
 func (e *Engine) AddComment(pid blog.PostID, cm blog.Comment) error {
-	return e.mutate(func(c *blog.Corpus) (int, error) {
+	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {
 		if _, ok := c.Posts[pid]; !ok {
 			return 0, fmt.Errorf("core: comment on unknown post %q", pid)
 		}
@@ -365,6 +442,7 @@ func (e *Engine) AddComment(pid blog.PostID, cm blog.Comment) error {
 		if err := c.AddComment(pid, cm); err != nil {
 			return 0, err
 		}
+		w.Comment(pid, &cm)
 		return 1, nil
 	})
 }
@@ -373,8 +451,14 @@ func (e *Engine) AddComment(pid blog.PostID, cm blog.Comment) error {
 // Re-ingesting an existing link is a no-op (the crawl graph reports most
 // edges from both ends).
 func (e *Engine) AddLink(from, to blog.BloggerID) error {
-	return e.mutate(func(c *blog.Corpus) (int, error) {
-		return addLinkStubbed(c, from, to)
+	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {
+		n, err := addLinkStubbed(c, from, to)
+		if n > 0 {
+			// Deduplicated links are dropped entirely, so they are not
+			// logged either — replay reproduces the dedup decision for free.
+			w.Link(from, to)
+		}
+		return n, err
 	})
 }
 
@@ -432,11 +516,11 @@ func (e *Engine) AddBatch(b Batch) error {
 	if b.size() == 0 {
 		return nil
 	}
-	return e.mutate(func(c *blog.Corpus) (int, error) {
+	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {
 		if err := validateBatch(c, b); err != nil {
 			return 0, err
 		}
-		return applyBatch(c, b)
+		return applyBatch(c, b, w)
 	})
 }
 
@@ -479,9 +563,10 @@ func validateBatch(c *blog.Corpus, b Batch) error {
 	return nil
 }
 
-// applyBatch lands a validated batch and reports how many mutations it
-// actually applied (deduplicated links count zero).
-func applyBatch(c *blog.Corpus, b Batch) (int, error) {
+// applyBatch lands a validated batch, staging each applied op on w, and
+// reports how many mutations it actually applied (deduplicated links count
+// zero).
+func applyBatch(c *blog.Corpus, b Batch, w *wal.Batch) (int, error) {
 	applied := 0
 	for _, bl := range b.Bloggers {
 		for _, f := range bl.Friends {
@@ -492,27 +577,34 @@ func applyBatch(c *blog.Corpus, b Batch) (int, error) {
 		if err := c.UpsertBlogger(bl); err != nil {
 			return applied, err
 		}
+		w.Blogger(bl)
 		applied++
 	}
 	for _, p := range b.Posts {
 		if err := addPost(c, p); err != nil {
 			return applied, err
 		}
+		w.Post(p)
 		applied++
 	}
-	for _, bc := range b.Comments {
+	for i := range b.Comments {
+		bc := &b.Comments[i]
 		if err := ensureBlogger(c, bc.Comment.Commenter); err != nil {
 			return applied, err
 		}
 		if err := c.AddComment(bc.Post, bc.Comment); err != nil {
 			return applied, err
 		}
+		w.Comment(bc.Post, &bc.Comment)
 		applied++
 	}
 	for _, l := range b.Links {
 		n, err := addLinkStubbed(c, l.From, l.To)
 		if err != nil {
 			return applied, err
+		}
+		if n > 0 {
+			w.Link(l.From, l.To)
 		}
 		applied += n
 	}
@@ -527,7 +619,7 @@ func (e *Engine) IngestPage(page *blogserver.Page) error {
 	if page == nil {
 		return fmt.Errorf("core: nil page")
 	}
-	return e.mutate(func(c *blog.Corpus) (applied int, err error) {
+	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (applied int, err error) {
 		id := page.Blogger.ID
 		existing, known := c.Bloggers[id]
 		// A new blogger counts; so does enriching a stub (profiles feed the
@@ -543,6 +635,9 @@ func (e *Engine) IngestPage(page *blogserver.Page) error {
 		if err := c.UpsertBlogger(&b); err != nil {
 			return applied, err
 		}
+		// The upsert runs even when it enriches nothing (it may still admit
+		// friend stubs), so it is always logged.
+		w.Blogger(&b)
 		if enriches {
 			applied++
 		}
@@ -554,6 +649,7 @@ func (e *Engine) IngestPage(page *blogserver.Page) error {
 			if err := addPost(c, &p); err != nil {
 				return applied, err
 			}
+			w.Post(&p)
 			applied++
 		}
 		for _, target := range page.Links {
@@ -564,6 +660,9 @@ func (e *Engine) IngestPage(page *blogserver.Page) error {
 			if err != nil {
 				return applied, err
 			}
+			if n > 0 {
+				w.Link(id, target)
+			}
 			applied += n
 		}
 		for _, source := range page.Linkbacks {
@@ -573,6 +672,9 @@ func (e *Engine) IngestPage(page *blogserver.Page) error {
 			n, err := addLinkStubbed(c, source, id)
 			if err != nil {
 				return applied, err
+			}
+			if n > 0 {
+				w.Link(source, id)
 			}
 			applied += n
 		}
@@ -621,6 +723,10 @@ func (e *Engine) refreshLocked(force bool) error {
 	frozen := e.corpus.Snapshot()
 	consumed := e.pending
 	total := e.total
+	// The WAL index is captured under the same lock as the freeze, so
+	// records 1..walIdx are exactly the mutations folded into frozen — the
+	// invariant a checkpoint at walIdx depends on.
+	walIdx := e.walIdx
 	e.pending = 0
 	e.mu.Unlock()
 
@@ -631,6 +737,9 @@ func (e *Engine) refreshLocked(force bool) error {
 	}
 	e.lastErr = err
 	e.mu.Unlock()
+	if err == nil {
+		e.maybeCheckpoint(frozen, walIdx, total)
+	}
 	return err
 }
 
@@ -657,7 +766,10 @@ func (e *Engine) publish(frozen *blog.Corpus, total uint64) error {
 // more mutations land during the analysis.
 func (e *Engine) publishWarm(frozen *blog.Corpus, total uint64, prev *influence.Result) error {
 	t0 := time.Now()
-	seq := uint64(1)
+	// seq0 is nonzero after recovering a checkpoint, so generation numbers
+	// (and with them ETags) keep advancing across restarts instead of
+	// resetting and re-validating stale client caches.
+	seq := e.seq0 + 1
 	if s := e.snap.Load(); s != nil {
 		seq = s.Seq + 1
 	}
@@ -698,8 +810,10 @@ func (e *Engine) Refresh(ctx context.Context) error {
 }
 
 // Close stops the flusher, folds any pending mutations into a final
-// snapshot, and marks the engine read-only. Queries against the last
-// snapshot keep working after Close.
+// snapshot, and marks the engine read-only. With durability enabled it
+// then writes a final checkpoint covering everything ingested and closes
+// the WAL, so the next boot recovers from the snapshot alone. Queries
+// against the last snapshot keep working after Close.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -710,5 +824,25 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	close(e.quit)
 	<-e.done
-	return e.refresh(false)
+	err := e.refresh(false)
+	if e.wal != nil {
+		e.analyzeSem <- struct{}{}
+		e.mu.Lock()
+		frozen := e.corpus.Snapshot()
+		walIdx := e.walIdx
+		total := e.total
+		e.mu.Unlock()
+		if err == nil && (!e.hasCkpt || walIdx > e.lastCkpt) {
+			// Skipped when the final flush failed: the cache then trails the
+			// corpus, and the WAL alone already covers every record.
+			if cerr := e.checkpointLocked(frozen, walIdx, total); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		<-e.analyzeSem
+		if cerr := e.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -1,0 +1,116 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/blogserver"
+)
+
+func TestRetryDelayExponentialCappedJittered(t *testing.T) {
+	cr := New(Config{RetryDelay: 10 * time.Millisecond, MaxRetryDelay: 80 * time.Millisecond}, nil)
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond, // attempt 2
+		40 * time.Millisecond, // attempt 3
+		80 * time.Millisecond, // attempt 4 hits the cap
+		80 * time.Millisecond, // attempt 5 stays capped
+	}
+	for attempt := 1; attempt <= len(want); attempt++ {
+		for trial := 0; trial < 50; trial++ {
+			d := cr.retryDelay(attempt)
+			if d < want[attempt-1]/2 || d > want[attempt-1] {
+				t.Fatalf("attempt %d: delay %v outside jitter window [%v, %v]",
+					attempt, d, want[attempt-1]/2, want[attempt-1])
+			}
+		}
+	}
+}
+
+func TestRetryDelayCapNeverBelowBase(t *testing.T) {
+	// A cap below the base delay is clamped up instead of inverting the
+	// ladder.
+	cr := New(Config{RetryDelay: 50 * time.Millisecond, MaxRetryDelay: time.Millisecond}, nil)
+	if d := cr.retryDelay(3); d > 50*time.Millisecond || d < 25*time.Millisecond {
+		t.Fatalf("clamped cap: delay %v, want within [25ms, 50ms]", d)
+	}
+}
+
+// flakyHandler 503s the first fail requests for every distinct URL, then
+// delegates to the real blog server — a server that recovers per space.
+type flakyHandler struct {
+	inner http.Handler
+	fail  int
+
+	mu   sync.Mutex
+	hits map[string]int
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.hits[r.URL.Path]++
+	n := h.hits[r.URL.Path]
+	h.mu.Unlock()
+	if n <= h.fail {
+		http.Error(w, "temporarily unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestCrawlBackoffSurvivesFlakyServer(t *testing.T) {
+	h := &flakyHandler{inner: blogserver.New(blog.Figure1Corpus()), fail: 2, hits: map[string]int{}}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	cr := New(Config{
+		Workers: 3, Radius: 5, Retries: 4,
+		RetryDelay: time.Millisecond, MaxRetryDelay: 8 * time.Millisecond,
+	}, nil)
+	got, stats, err := cr.Crawl(context.Background(), ts.URL, "Amery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bloggers) != 9 || stats.Failed != 0 {
+		t.Fatalf("flaky crawl: %d bloggers, stats %+v", len(got.Bloggers), stats)
+	}
+	// Every space needed exactly two retries, so the retry count is pinned.
+	if stats.Retries != 2*stats.Fetched {
+		t.Fatalf("retries = %d, want %d", stats.Retries, 2*stats.Fetched)
+	}
+}
+
+func TestCrawlCancelDuringBackoffReturnsPromptly(t *testing.T) {
+	// An always-failing server combined with a multi-second backoff: if
+	// cancellation did not interrupt the backoff sleep, the crawl would take
+	// RetryDelay * Retries to notice. It must return as soon as the context
+	// is cancelled.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+
+	cr := New(Config{
+		Workers: 1, Radius: 1, Retries: 5,
+		RetryDelay: 30 * time.Second, MaxRetryDelay: 30 * time.Second,
+	}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := cr.Crawl(ctx, ts.URL, "Amery")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — backoff sleep is not context-aware", elapsed)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -36,8 +37,13 @@ type Config struct {
 	// Retries is the number of re-attempts per space after a failure.
 	// Default 2.
 	Retries int
-	// RetryDelay is the backoff between attempts. Default 10ms.
+	// RetryDelay is the base backoff before the first retry. Subsequent
+	// retries back off exponentially (doubling per attempt) with jitter, up
+	// to MaxRetryDelay. Default 10ms.
 	RetryDelay time.Duration
+	// MaxRetryDelay caps the exponential backoff so a long retry ladder
+	// never sleeps unboundedly. Default 2s.
+	MaxRetryDelay time.Duration
 	// RequestTimeout bounds one HTTP request. Default 10s.
 	RequestTimeout time.Duration
 	// RateLimit, when > 0, caps request starts per second across workers.
@@ -59,6 +65,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryDelay == 0 {
 		c.RetryDelay = 10 * time.Millisecond
+	}
+	if c.MaxRetryDelay == 0 {
+		c.MaxRetryDelay = 2 * time.Second
+	}
+	if c.MaxRetryDelay < c.RetryDelay {
+		c.MaxRetryDelay = c.RetryDelay
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 10 * time.Second
@@ -242,15 +254,35 @@ func (s *corpusSink) IngestPage(p *blogserver.Page) error {
 	return err
 }
 
+// retryDelay computes the backoff before retry attempt (1-based):
+// RetryDelay doubled per attempt, capped at MaxRetryDelay, then jittered
+// into [d/2, d] so a fleet of workers hammering one recovering server
+// doesn't retry in lockstep.
+func (cr *Crawler) retryDelay(attempt int) time.Duration {
+	d := cr.cfg.RetryDelay
+	for i := 1; i < attempt && d < cr.cfg.MaxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > cr.cfg.MaxRetryDelay {
+		d = cr.cfg.MaxRetryDelay
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(rand.Int63n(int64(half)+1))
+	}
+	return d
+}
+
 // fetchWithRetry downloads and parses one space page.
 func (cr *Crawler) fetchWithRetry(ctx context.Context, baseURL string, id blog.BloggerID, stats *Stats) (*blogserver.Page, error) {
 	var lastErr error
 	for attempt := 0; attempt <= cr.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			statsAddRetry(stats)
+			timer := time.NewTimer(cr.retryDelay(attempt))
 			select {
-			case <-time.After(cr.cfg.RetryDelay):
+			case <-timer.C:
 			case <-ctx.Done():
+				timer.Stop()
 				return nil, ctx.Err()
 			}
 		}

@@ -36,11 +36,17 @@ type Detector struct {
 	// dupThreshold is the Jaccard similarity above which a post counts as
 	// a near-duplicate of an earlier one.
 	dupThreshold float64
-	// index maps each shingle to the documents containing it, so a new
-	// document is compared only against documents it actually shares
-	// shingles with (the naive all-pairs scan is quadratic in corpus
-	// size and dominated analysis wall time on large corpora).
-	index    map[string][]int
+	// The inverted index maps each shingle hash to the documents containing
+	// it, so a new document is compared only against documents it actually
+	// shares shingles with (the naive all-pairs scan is quadratic in corpus
+	// size and dominated analysis wall time on large corpora). Shingles are
+	// 64-bit hashes, never strings: integer keys keep the index compact and
+	// cheap to rebuild when a durable snapshot is restored. Most shingles
+	// occur in exactly one document, so the first posting is stored inline
+	// in `first` and only repeat shingles grow a slice in `more` — the
+	// split avoids one tiny slice allocation per distinct shingle.
+	first    map[uint64]int32
+	more     map[uint64][]int32
 	seenSize []int // shingle-set size per seen document
 }
 
@@ -51,7 +57,8 @@ func New() *Detector {
 		indicators:   lexicon.CopyIndicators(),
 		shingleK:     4,
 		dupThreshold: 0.7,
-		index:        map[string][]int{},
+		first:        map[uint64]int32{},
+		more:         map[uint64][]int32{},
 	}
 }
 
@@ -94,15 +101,19 @@ func (d *Detector) Score(text string) float64 {
 // dominates analysis cost and parallelizes, while the seen-index update
 // is inherently ordered.
 type Prepared struct {
-	shingles  map[string]struct{}
+	// shingles is the deduplicated, sorted hash set of the document's
+	// k-gram shingles (see textutil.ShingleHashes). A slice, not a map:
+	// scoring only ever iterates it, and restoring a persisted document
+	// is then a flat copy.
+	shingles  []uint64
 	indicator float64
 }
 
-// Prepare tokenizes a document into shingles and applies the indicator
-// rule. Safe for concurrent use.
+// Prepare tokenizes a document into shingle hashes and applies the
+// indicator rule. Safe for concurrent use.
 func (d *Detector) Prepare(text string) Prepared {
 	return Prepared{
-		shingles:  textutil.Shingles(text, d.shingleK),
+		shingles:  textutil.ShingleHashes(text, d.shingleK),
 		indicator: d.IndicatorScore(text),
 	}
 }
@@ -113,10 +124,13 @@ func (d *Detector) ScorePrepared(p Prepared) float64 {
 	s := p.indicator
 	sh := p.shingles
 	if len(sh) > 0 {
-		shared := map[int]int{}
-		for g := range sh {
-			for _, doc := range d.index[g] {
+		shared := map[int32]int{}
+		for _, g := range sh {
+			if doc, ok := d.first[g]; ok {
 				shared[doc]++
+				for _, rest := range d.more[g] {
+					shared[rest]++
+				}
 			}
 		}
 		for doc, inter := range shared {
@@ -129,17 +143,27 @@ func (d *Detector) ScorePrepared(p Prepared) float64 {
 			}
 		}
 	}
-	id := len(d.seenSize)
-	d.seenSize = append(d.seenSize, len(sh))
-	for g := range sh {
-		d.index[g] = append(d.index[g], id)
-	}
+	d.observe(sh)
 	return s
+}
+
+// observe appends the next document id to every posting list in sh.
+func (d *Detector) observe(sh []uint64) {
+	id := int32(len(d.seenSize))
+	d.seenSize = append(d.seenSize, len(sh))
+	for _, g := range sh {
+		if _, ok := d.first[g]; !ok {
+			d.first[g] = id
+		} else {
+			d.more[g] = append(d.more[g], id)
+		}
+	}
 }
 
 // Reset clears the seen-post memory (the indicator lexicon is kept).
 func (d *Detector) Reset() {
-	d.index = map[string][]int{}
+	d.first = map[uint64]int32{}
+	d.more = map[uint64][]int32{}
 	d.seenSize = nil
 }
 
