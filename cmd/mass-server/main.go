@@ -162,6 +162,10 @@ func main() {
 		defer close(drained)
 		<-ctx.Done()
 		fmt.Println("shutting down ...")
+		// Subscriptions first: closing the hub ends every SSE stream, so
+		// the graceful drain below is not held open by standing
+		// connections that would otherwise never finish.
+		engine.Subscriptions().Shutdown()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"mass/internal/blog"
 	"mass/internal/core"
 	"mass/internal/query"
+	"mass/internal/subs"
 )
 
 // envelope is the uniform v1 response shape.
@@ -202,4 +204,108 @@ func main() {
 	json.NewDecoder(resp.Body).Decode(&badEnv)
 	resp.Body.Close()
 	fmt.Printf("\ntypo'd query -> HTTP %d code=%q\n", resp.StatusCode, badEnv.Error.Code)
+
+	// 8. Continuous queries: instead of polling, register the query as a
+	// standing subscription and let the engine push incremental diffs.
+	// The registration response is the replica seed; each SSE frame
+	// advances it from one generation to the next.
+	resp, err = http.Post(base+"/api/v1/subscriptions", "application/json", strings.NewReader(
+		`{"entity":"posts","orderBy":[{"field":"posted","desc":true}],"limit":3}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var subEnv envelope
+	if err := json.NewDecoder(resp.Body).Decode(&subEnv); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	var subResp struct {
+		ID     string        `json:"id"`
+		Seq    uint64        `json:"seq"`
+		Result *query.Result `json:"result"`
+		Events string        `json:"events"`
+	}
+	if err := json.Unmarshal(subEnv.Data, &subResp); err != nil {
+		log.Fatal(err)
+	}
+	replica := subs.NewClientState(subResp.Seq, subResp.Result)
+	fmt.Printf("\nsubscribed %s at seq %d: latest %d posts, streaming %s\n",
+		subResp.ID, subResp.Seq, len(subResp.Result.Rows), subResp.Events)
+
+	stream, err := http.Get(base + subResp.Events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Body.Close()
+	sc := bufio.NewScanner(stream.Body)
+
+	// Land a flush that changes the window: the new post is the newest,
+	// so it must enter the replica at the top.
+	resp, err = http.Post(base+"/api/v1/posts", "application/json", strings.NewReader(
+		`{"id":"tour-2","author":"Dan","title":"live","posted":"2030-01-01T12:00:00Z",`+
+			`"body":"tonight's sports final, reported live"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := engine.Refresh(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	ev := readSSE(sc)
+	if _, err := replica.Apply(ev); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diff seq %d -> %d: %d row(s) carried for a %d-row window; replica head: %s\n",
+		ev.PrevSeq, ev.Seq, len(ev.Rows), len(ev.Order), replica.Result().Rows[0].ID)
+
+	// Events chain strictly: a replayed or out-of-order event is detected,
+	// not silently applied. A real gap (drop-to-latest coalescing on a
+	// slow consumer) reports Gap, and the resync fetch re-seeds the
+	// replica at the subscription's current generation.
+	if outcome, _ := replica.Apply(ev); outcome == subs.Skipped {
+		fmt.Println("replaying the same event: skipped (replica already past it)")
+	}
+	_, _, env = get(base, "/api/v1/subscriptions/"+subResp.ID, "")
+	var resync struct {
+		Seq    uint64        `json:"seq"`
+		Result *query.Result `json:"result"`
+	}
+	if err := json.Unmarshal(env.Data, &resync); err != nil {
+		log.Fatal(err)
+	}
+	same := resync.Seq == replica.Seq() && len(resync.Result.Rows) == len(replica.Result().Rows)
+	for i := 0; same && i < len(resync.Result.Rows); i++ {
+		same = resync.Result.Rows[i].ID == replica.Result().Rows[i].ID
+	}
+	fmt.Printf("resync fetch at seq %d matches the maintained replica: %v\n", resync.Seq, same)
+
+	req, err := http.NewRequest(http.MethodDelete, base+"/api/v1/subscriptions/"+subResp.ID, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("canceled subscription: HTTP %d\n", resp.StatusCode)
+}
+
+// readSSE scans frames off an SSE stream until one carries a data
+// payload (skipping ": ping" heartbeats) and decodes it as a diff event.
+func readSSE(sc *bufio.Scanner) *subs.Event {
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev subs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			log.Fatal(err)
+		}
+		return &ev
+	}
+	log.Fatal("event stream ended unexpectedly")
+	return nil
 }

@@ -33,6 +33,10 @@
 //	POST /api/v1/profile                  Scenario 2 {"text":...}
 //	GET  /api/v1/trends                   trend report         ?buckets=8&emerging=5
 //	GET  /api/v1/engine                   ingestion/re-analysis status
+//	POST /api/v1/subscriptions            register a standing query (continuous query)
+//	GET  /api/v1/subscriptions/{id}       resync snapshot for one subscription
+//	DEL  /api/v1/subscriptions/{id}       cancel a subscription
+//	GET  /api/v1/subscriptions/{id}/events  SSE stream of incremental result diffs
 //	POST /api/v1/posts|comments|links     ingestion (object or JSON array)
 //
 // All routes run behind a middleware chain: request IDs (X-Request-Id),

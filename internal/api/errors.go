@@ -38,6 +38,9 @@ const (
 	// ErrCodeRateLimited: the per-client token bucket is empty; retry after
 	// the Retry-After response header (seconds).
 	ErrCodeRateLimited = "rate_limited"
+	// ErrCodeConflict: the request contends with existing state — e.g. a
+	// second concurrent event stream attached to one subscription.
+	ErrCodeConflict = "conflict"
 	// ErrCodeNoData: the request is well-formed but the corpus cannot
 	// answer it yet (e.g. trends over an empty or single-instant corpus).
 	ErrCodeNoData = "no_data"

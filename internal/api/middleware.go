@@ -52,6 +52,10 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// extended controls (the SSE handler clears the server write deadline).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // withMiddleware wraps h in the full chain. Order, outermost first:
 // request ID → structured logging → panic recovery → rate limiting. The
 // recoverer sits inside logging so a panic is logged as the 500 it became,

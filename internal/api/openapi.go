@@ -95,7 +95,8 @@ func responsesFor(rt route) map[string]any {
 	}
 	responses := map[string]any{ok: map[string]any{"description": desc}}
 	if rt.Method == http.MethodGet && !rt.Deprecated && rt.Pattern != "/api/v1" &&
-		rt.Pattern != "/api/v1/openapi.json" && rt.Pattern != "/api/v1/engine" {
+		rt.Pattern != "/api/v1/openapi.json" && rt.Pattern != "/api/v1/engine" &&
+		!strings.HasPrefix(rt.Pattern, "/api/v1/subscriptions") {
 		responses["304"] = map[string]any{
 			"description": "snapshot unchanged since the If-None-Match generation",
 		}

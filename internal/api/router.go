@@ -76,6 +76,10 @@ func (s *Server) routeTable() []route {
 		{Method: "POST", Pattern: "/api/v1/profile", Summary: "Scenario 2: rank bloggers for a new user's profile; body {text}, optional k (capped)", Envelope: true, handler: s.v1Read(s.handleV1Profile)},
 		{Method: "GET", Pattern: "/api/v1/trends", Summary: "Domain trend report and emerging bloggers (memoized per snapshot)", Params: []paramDoc{queryIntDoc("buckets", "time buckets over the corpus span", DefaultBuckets, MaxBuckets), queryIntDoc("emerging", "emerging-blogger list size", DefaultEmerging, MaxEmerging)}, Envelope: true, handler: s.v1Read(s.handleV1Trends)},
 		{Method: "GET", Pattern: "/api/v1/engine", Summary: "Ingestion/re-analysis status (never cached)", Envelope: true, handler: s.v1NoSnapshot(s.handleV1Engine)},
+		{Method: "POST", Pattern: "/api/v1/subscriptions", Summary: "Register a standing query subscription; body is the query AST; returns the initial full result plus the SSE stream URL", Envelope: true, handler: s.handleV1SubscriptionCreate, bodySchema: query.JSONSchema()},
+		{Method: "GET", Pattern: "/api/v1/subscriptions/{id}", Summary: "Resync snapshot: the subscription's maintained result at its current seq (never cached)", Params: []paramDoc{pathParam("id", "subscription ID")}, Envelope: true, handler: s.handleV1SubscriptionGet},
+		{Method: "DELETE", Pattern: "/api/v1/subscriptions/{id}", Summary: "Cancel a standing subscription and end its event stream", Params: []paramDoc{pathParam("id", "subscription ID")}, Envelope: true, handler: s.handleV1SubscriptionDelete},
+		{Method: "GET", Pattern: "/api/v1/subscriptions/{id}/events", Summary: "SSE stream of incremental result diffs for one subscription (text/event-stream)", Params: []paramDoc{pathParam("id", "subscription ID")}, handler: s.handleV1SubscriptionEvents},
 		{Method: "POST", Pattern: "/api/v1/posts", Summary: "Ingest one post or a JSON array of posts", Envelope: true, handler: s.v1Ingest(decodePosts)},
 		{Method: "POST", Pattern: "/api/v1/comments", Summary: "Ingest one comment or a JSON array of comments", Envelope: true, handler: s.v1Ingest(decodeComments)},
 		{Method: "POST", Pattern: "/api/v1/links", Summary: "Ingest one link or a JSON array of links", Envelope: true, handler: s.v1Ingest(decodeLinks)},

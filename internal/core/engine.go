@@ -13,6 +13,7 @@ import (
 	"mass/internal/classify"
 	"mass/internal/influence"
 	"mass/internal/query"
+	"mass/internal/subs"
 	"mass/internal/wal"
 )
 
@@ -117,6 +118,16 @@ type EngineStatus struct {
 	RecoveredRecords    int    `json:"recoveredRecords"`
 	RecoveryTruncatedAt int64  `json:"recoveryTruncatedAt"`
 	Closed              bool   `json:"closed"`
+	// Continuous-query counters from the subscription hub: resident
+	// standing subscriptions, diff events pushed into subscriber queues,
+	// events coalesced away by drop-to-latest backpressure, and how many
+	// per-subscription evaluations went through the incremental path vs
+	// fell back to a full re-execution.
+	Subscribers       int    `json:"subscribers"`
+	PushedDiffs       uint64 `json:"pushedDiffs"`
+	DroppedDiffs      uint64 `json:"droppedDiffs"`
+	IncrementalEvals  uint64 `json:"incrementalEvals"`
+	FullEvalFallbacks uint64 `json:"fullEvalFallbacks"`
 	// LastError is the most recent re-analysis failure ("" when the last
 	// attempt succeeded). Failed analyses keep their mutations pending, so
 	// the flusher retries them on the next tick.
@@ -148,6 +159,10 @@ type Engine struct {
 	// keyed by (seq, normalized query), and storing a result for a new
 	// generation evicts the stale one's entries.
 	qcache *query.Cache
+	// hub fans published generations out to standing subscriptions. It is
+	// created after the initial analysis (so registrations always have a
+	// generation to evaluate against) and fed from publishWarm.
+	hub *subs.Hub
 
 	snap atomic.Pointer[Snapshot]
 
@@ -241,9 +256,16 @@ func NewEngine(c *blog.Corpus, opts EngineOptions) (*Engine, error) {
 		e.wal.Close()
 		return nil, err
 	}
+	s := e.snap.Load()
+	e.hub = subs.NewHub(subs.Generation{Seq: s.Seq, Corpus: s.Corpus(), Result: s.Result()}, subs.Options{})
 	go e.flusher()
 	return e, nil
 }
+
+// Subscriptions is the continuous-query hub: standing subscriptions
+// registered here receive an incremental result diff for every
+// generation the engine publishes.
+func (e *Engine) Subscriptions() *subs.Hub { return e.hub }
 
 // Current returns the latest published snapshot. It never blocks and never
 // returns nil.
@@ -282,6 +304,14 @@ func (e *Engine) Status() EngineStatus {
 		RecoveryTruncatedAt: e.recTruncated,
 		Closed:              closed,
 		LastError:           lastErr,
+	}
+	if e.hub != nil {
+		hs := e.hub.Stats()
+		st.Subscribers = hs.Subscribers
+		st.PushedDiffs = hs.PushedDiffs
+		st.DroppedDiffs = hs.DroppedDiffs
+		st.IncrementalEvals = hs.IncrementalEvals
+		st.FullEvalFallbacks = hs.FullEvalFallbacks
 	}
 	if e.wal != nil {
 		ws := e.wal.Stats()
@@ -792,6 +822,11 @@ func (e *Engine) publishWarm(frozen *blog.Corpus, total uint64, prev *influence.
 		Mutations: total,
 		Elapsed:   time.Since(t0),
 	})
+	if e.hub != nil {
+		// Never blocks: the hub's mailbox is latest-wins, so a slow
+		// fan-out cannot delay the flush path.
+		e.hub.Publish(subs.Generation{Seq: seq, Corpus: frozen, Result: sys.Result()})
+	}
 	return nil
 }
 
@@ -825,6 +860,9 @@ func (e *Engine) Close() error {
 	close(e.quit)
 	<-e.done
 	err := e.refresh(false)
+	if e.hub != nil {
+		e.hub.Shutdown()
+	}
 	if e.wal != nil {
 		e.analyzeSem <- struct{}{}
 		e.mu.Lock()

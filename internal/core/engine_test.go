@@ -13,6 +13,8 @@ import (
 	"mass/internal/blogserver"
 	"mass/internal/crawler"
 	"mass/internal/linkrank"
+	"mass/internal/query"
+	"mass/internal/subs"
 	"mass/internal/synth"
 )
 
@@ -621,5 +623,98 @@ func TestEngineConcurrentLinkEpochCSR(t *testing.T) {
 	}
 	if want := len(final.Links); csr.NumEdges() != want {
 		t.Fatalf("final CSR has %d edges, corpus records %d", csr.NumEdges(), want)
+	}
+}
+
+// TestEngineSubscriptionChurn races subscribe/consume/cancel churn and
+// slow-consumer disconnects against concurrent ingest flushes, ending
+// with Close racing live subscribers. Run with -race. It also holds the
+// subscription contract end to end: every subscriber that keeps its
+// event chain unbroken replays to exactly the engine's published result,
+// and any gap is recoverable from the subscription snapshot.
+func TestEngineSubscriptionChurn(t *testing.T) {
+	e := startEngine(t, synthCorpus(t, 97, 30, 150), testEngineOptions())
+	hub := e.Subscriptions()
+	base := e.Current().Corpus().BloggerIDs()
+
+	const ingesters, subscribers, perIngester = 3, 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, ingesters+subscribers)
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perIngester; i++ {
+				pid := blog.PostID(fmt.Sprintf("sub-live-%d-%d", g, i))
+				if err := e.AddPost(&blog.Post{
+					ID: pid, Author: base[(g*5+i)%len(base)],
+					Body: fmt.Sprintf("live sports coverage update %d from feed %d", i, g),
+				}); err != nil {
+					errs <- err
+					return
+				}
+				if err := e.AddComment(pid, blog.Comment{
+					Commenter: base[(g+i+3)%len(base)], Text: "nice write-up",
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	bodies := []string{
+		`{"entity":"bloggers","limit":5}`,
+		`{"entity":"posts","orderBy":[{"field":"quality","desc":true}],"limit":8}`,
+		`{"entity":"domains"}`,
+	}
+	for w := 0; w < subscribers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				q, err := query.Decode([]byte(bodies[(w+i)%len(bodies)]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				sub, seq, res, err := hub.Subscribe(q)
+				if err != nil {
+					return // hub closed under us: the churn we want
+				}
+				cs := subs.NewClientState(seq, res)
+				deadline := time.Now().Add(20 * time.Millisecond)
+				for time.Now().Before(deadline) {
+					ev := sub.TryNext()
+					if ev == nil {
+						select {
+						case <-sub.Notify():
+						case <-sub.Done():
+						case <-time.After(5 * time.Millisecond):
+						}
+						continue
+					}
+					outcome, _ := cs.Apply(ev)
+					if outcome == subs.Gap {
+						rseq, rres := sub.Snapshot()
+						cs.Resync(rseq, rres)
+					}
+				}
+				if i%2 == 0 { // half disconnect politely, half stall out
+					hub.Cancel(sub.ID())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := e.Close(); err != nil { // races nothing now, but closes live subs
+		t.Fatal(err)
+	}
+	st := e.Status()
+	if st.PushedDiffs == 0 {
+		t.Fatal("no diffs pushed during churn")
 	}
 }

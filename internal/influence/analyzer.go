@@ -2,6 +2,7 @@ package influence
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -49,8 +50,13 @@ func (a *Analyzer) Analyze(c *blog.Corpus) (*Result, error) {
 // classifier posteriors of posts already present in prev are reused
 // verbatim (post bodies are immutable, so re-classifying them is pure
 // waste); only genuinely new posts hit the classifier, on the worker pool.
-// The final scores are identical to a cold Analyze (the fixed point is
-// unique); only the iteration count and classification work differ.
+// The final scores agree with a cold Analyze to within Epsilon (the fixed
+// point is unique; the sweep resolves it to that threshold either way),
+// and scores that moved by less than Epsilon keep the previous
+// generation's exact bits — so entities a flush did not genuinely perturb
+// stay bit-identical across generations, and exact-equality consumers
+// (publish deltas, standing subscriptions, caches) see change sets
+// proportional to the true perturbation.
 func (a *Analyzer) AnalyzeWarm(c *blog.Corpus, prev *Result) (*Result, error) {
 	return a.analyze(c, prev, nil)
 }
@@ -111,6 +117,9 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 
 	// --- GL facet: PageRank over the hyperlink graph (Eq. 1). ---
 	gl := a.computeGL(c, bloggers, cache, res)
+	if prev != nil {
+		snapScores(gl, bloggers, prev.GL, a.cfg.StabilityEpsilon)
+	}
 	for i, id := range bloggers {
 		res.GL[id] = gl[i]
 	}
@@ -242,6 +251,20 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 		}
 	}
 
+	// Generation-to-generation score stability: the sweep recomputes every
+	// value, so even a converged warm restart moves each score by up to
+	// Epsilon in the low bits. Values inside the convergence threshold are
+	// indistinguishable at the solver's accuracy, so pin them to the
+	// previous generation's exact bits. Downstream exact-equality consumers
+	// (publish deltas, standing subscriptions, result caches) then see
+	// change sets proportional to the true perturbation instead of the
+	// whole corpus. Genuinely moved scores (≥ Epsilon) always update, so
+	// drift against the true fixed point stays O(Epsilon).
+	if prev != nil {
+		snapScores(postInf, posts, prev.PostScores, a.cfg.StabilityEpsilon)
+		snapScores(inf, bloggers, prev.BloggerScores, a.cfg.StabilityEpsilon)
+	}
+
 	res.bloggerInf = inf
 	res.bloggerAP = make([]float64, len(bloggers))
 	res.bloggerGL = gl
@@ -253,6 +276,11 @@ func (a *Analyzer) analyze(c *blog.Corpus, prev *Result, cache *Cache) (*Result,
 		ap := 0.0
 		for _, pi := range authorPosts[i] {
 			ap += postInf[pi]
+		}
+		if prev != nil {
+			if old, ok := prev.AP[id]; ok && math.Abs(ap-old) <= a.cfg.StabilityEpsilon {
+				ap = old
+			}
 		}
 		res.bloggerAP[i] = ap
 		res.AP[id] = ap
@@ -386,6 +414,18 @@ func (a *Analyzer) computeGL(c *blog.Corpus, bloggers []blog.BloggerID, cache *C
 	cache.glView = view
 	cache.storeGL(c.LinkEpoch(), c.Links, bloggers, gl)
 	return gl
+}
+
+// snapScores pins each value to the previous generation's exact bits when
+// the two differ by at most eps — the solver's own convergence threshold,
+// below which the values are indistinguishable. IDs absent from old (new
+// entities) keep their fresh scores.
+func snapScores[K comparable](vals []float64, ids []K, old map[K]float64, eps float64) {
+	for i, id := range ids {
+		if o, ok := old[id]; ok && math.Abs(vals[i]-o) <= eps {
+			vals[i] = o
+		}
+	}
 }
 
 // bloggersEqual reports whether two sorted blogger lists are identical —

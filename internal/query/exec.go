@@ -67,18 +67,28 @@ type view struct {
 	d      influence.DenseView
 	entity Entity
 
+	ctx      *EvalContext // shared per-generation state, may be nil
 	postPtrs []*blog.Post // lazily resolved, aligned with d.Posts
 }
 
 // posts resolves the post structs once; costs one slice, never a map.
+// Views sharing an EvalContext share the resolution.
 func (v *view) posts() []*blog.Post {
+	if v.ctx != nil {
+		return v.ctx.posts()
+	}
 	if v.postPtrs == nil {
-		v.postPtrs = make([]*blog.Post, len(v.d.Posts))
-		for i, pid := range v.d.Posts {
-			v.postPtrs[i] = v.c.Posts[pid]
-		}
+		v.postPtrs = resolvePosts(v.c, v.d.Posts)
 	}
 	return v.postPtrs
+}
+
+func resolvePosts(c *blog.Corpus, ids []blog.PostID) []*blog.Post {
+	ptrs := make([]*blog.Post, len(ids))
+	for i, pid := range ids {
+		ptrs[i] = c.Posts[pid]
+	}
+	return ptrs
 }
 
 func (v *view) count() int {
@@ -116,44 +126,24 @@ func window[T any](s []T, offset, limit int) []T {
 	return s
 }
 
-// interestGetter compiles the weighted dot product over a dense domain
-// slab, mirroring influence.Result.InterestScores term order exactly so
-// query-ranked advert results are bit-identical to the legacy path.
-func interestGetter(slab []float64, domains []string, weights map[string]float64) func(int) float64 {
-	nd := len(domains)
-	if nd == 0 || len(slab) == 0 {
-		return zeroGetter
-	}
-	w := make([]float64, nd)
-	for di, name := range domains {
-		w[di] = weights[name]
-	}
-	return func(i int) float64 {
-		row := slab[i*nd : (i+1)*nd]
-		var dot float64
-		for di, s := range row {
-			dot += s * w[di]
-		}
-		return dot
-	}
-}
-
-func slotGetter(slab []float64, nd int, slot int) func(int) float64 {
-	if nd == 0 || len(slab) == 0 {
-		return zeroGetter
-	}
-	return func(i int) float64 { return slab[i*nd+slot] }
-}
-
 // numGetter compiles a numeric facet accessor for the view's entity.
+// Accessors read the generation through v on every call — never through
+// a captured slab — so Evaluator.Rebind can re-target every compiled
+// accessor at a new generation by swapping the view's bindings, without
+// recompiling. Domain-slot layout (slot indices, interest weight
+// vectors) is the one thing baked in at compile time; Rebind therefore
+// refuses generations whose interned domain list changed.
 func (v *view) numGetter(f Field) (func(int) float64, error) {
-	d := v.d
-	nd := len(d.Domains)
+	nd := len(v.d.Domains)
 	if f.Name == FieldInterest {
-		if v.entity == EntityPosts {
-			return interestGetter(d.PostDomains, d.Domains, f.Weights), nil
+		w := make([]float64, nd)
+		for di, name := range v.d.Domains {
+			w[di] = f.Weights[name]
 		}
-		return interestGetter(d.DomainScores, d.Domains, f.Weights), nil
+		if v.entity == EntityPosts {
+			return func(i int) float64 { return dotRow(v.d.PostDomains, w, i) }, nil
+		}
+		return func(i int) float64 { return dotRow(v.d.DomainScores, w, i) }, nil
 	}
 	if name, ok := strings.CutPrefix(f.Name, "domain:"); ok {
 		slot, known := v.res.DomainSlot(name)
@@ -161,39 +151,36 @@ func (v *view) numGetter(f Field) (func(int) float64, error) {
 			return zeroGetter, nil
 		}
 		if v.entity == EntityPosts {
-			return slotGetter(d.PostDomains, nd, slot), nil
+			return func(i int) float64 { return slotRow(v.d.PostDomains, nd, slot, i) }, nil
 		}
-		return slotGetter(d.DomainScores, nd, slot), nil
+		return func(i int) float64 { return slotRow(v.d.DomainScores, nd, slot, i) }, nil
 	}
 	if v.entity == EntityBloggers {
 		switch f.Name {
 		case FieldInfluence:
-			return func(i int) float64 { return d.Influence[i] }, nil
+			return func(i int) float64 { return v.d.Influence[i] }, nil
 		case FieldAP:
-			return func(i int) float64 { return d.AP[i] }, nil
+			return func(i int) float64 { return v.d.AP[i] }, nil
 		case FieldGL:
-			return func(i int) float64 { return d.GL[i] }, nil
+			return func(i int) float64 { return v.d.GL[i] }, nil
 		case FieldPosts:
-			c := v.c
-			return func(i int) float64 { return float64(len(c.PostsBy(d.Bloggers[i]))) }, nil
+			return func(i int) float64 { return float64(len(v.c.PostsBy(v.d.Bloggers[i]))) }, nil
 		}
 	} else {
 		switch f.Name {
 		case FieldInfluence:
-			return func(i int) float64 { return d.PostScore[i] }, nil
+			return func(i int) float64 { return v.d.PostScore[i] }, nil
 		case FieldQuality:
-			return func(i int) float64 { return d.Quality[i] }, nil
+			return func(i int) float64 { return v.d.Quality[i] }, nil
 		case FieldNovelty:
-			return func(i int) float64 { return d.Novelty[i] }, nil
+			return func(i int) float64 { return v.d.Novelty[i] }, nil
 		case FieldSentiment:
-			return func(i int) float64 { return d.Sentiment[i] }, nil
+			return func(i int) float64 { return v.d.Sentiment[i] }, nil
 		case FieldComments:
-			posts := v.posts()
-			return func(i int) float64 { return float64(len(posts[i].Comments)) }, nil
+			return func(i int) float64 { return float64(len(v.posts()[i].Comments)) }, nil
 		case FieldPosted:
-			posts := v.posts()
 			return func(i int) float64 {
-				t := posts[i].Posted
+				t := v.posts()[i].Posted
 				return timeKey(t.Unix(), t.Nanosecond())
 			}, nil
 		}
@@ -201,10 +188,32 @@ func (v *view) numGetter(f Field) (func(int) float64, error) {
 	return nil, fmt.Errorf("query: field %q has no %s accessor", f.Name, v.entity)
 }
 
+// dotRow is the weighted dot product of one dense domain row — the
+// FieldInterest accessor body, mirroring influence.Result.InterestScores
+// term order exactly.
+func dotRow(slab, w []float64, i int) float64 {
+	nd := len(w)
+	if nd == 0 || len(slab) == 0 {
+		return 0
+	}
+	row := slab[i*nd : (i+1)*nd]
+	var dot float64
+	for di, s := range row {
+		dot += s * w[di]
+	}
+	return dot
+}
+
+func slotRow(slab []float64, nd, slot, i int) float64 {
+	if nd == 0 || len(slab) == 0 {
+		return 0
+	}
+	return slab[i*nd+slot]
+}
+
 func (v *view) strGetter(f Field) (func(int) string, error) {
 	if v.entity == EntityPosts && f.Name == FieldAuthor {
-		posts := v.posts()
-		return func(i int) string { return string(posts[i].Author) }, nil
+		return func(i int) string { return string(v.posts()[i].Author) }, nil
 	}
 	return nil, fmt.Errorf("query: field %q has no string accessor", f.Name)
 }

@@ -524,7 +524,7 @@ func TestCache(t *testing.T) {
 func TestCacheBounded(t *testing.T) {
 	f := testFixture(t)
 	cache := NewCache()
-	for i := 0; i < maxCacheEntries+50; i++ {
+	for i := 0; i < DefaultCacheEntries+50; i++ {
 		q := Bloggers().Where(F(FieldInfluence).Gt(float64(i) * 1e-9)).Limit(1).Build()
 		if _, err := cache.Get(1, q, func(n *Query) (*Result, error) {
 			return Execute(f.c, f.res, n)
@@ -535,8 +535,8 @@ func TestCacheBounded(t *testing.T) {
 	cache.mu.Lock()
 	size := len(cache.entries)
 	cache.mu.Unlock()
-	if size > maxCacheEntries {
-		t.Fatalf("cache grew to %d entries (cap %d)", size, maxCacheEntries)
+	if size > DefaultCacheEntries {
+		t.Fatalf("cache grew to %d entries (cap %d)", size, DefaultCacheEntries)
 	}
 }
 
@@ -618,5 +618,38 @@ func TestUnknownDomainConsistency(t *testing.T) {
 	}
 	if fmt.Sprint(ranked.Rows) != fmt.Sprint(scanned.Rows) {
 		t.Fatalf("plans disagree:\nranked:  %v\nscanned: %v", ranked.Rows, scanned.Rows)
+	}
+}
+
+// TestCacheLRURecency: eviction at the cap is least-recently-used, so a
+// standing query that keeps being served survives while one-off
+// explorations age out.
+func TestCacheLRURecency(t *testing.T) {
+	f := testFixture(t)
+	cache := NewCacheSize(2)
+	run := func(q *Query) {
+		t.Helper()
+		if _, err := cache.Get(1, q, func(n *Query) (*Result, error) {
+			return Execute(f.c, f.res, n)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := Bloggers().Limit(5).Build()
+	cold := Bloggers().Limit(6).Build()
+	run(hot)                         // miss: compute 1
+	run(cold)                        // miss: compute 2
+	run(hot)                         // hit, and refreshes hot's recency
+	run(Bloggers().Limit(7).Build()) // miss: compute 3, evicts cold (LRU)
+	run(hot)                         // still resident: no recompute
+	if n := cache.Computes(); n != 3 {
+		t.Fatalf("computes = %d, want 3 (hot entry evicted despite recency)", n)
+	}
+	run(cold) // was evicted: compute 4
+	if n := cache.Computes(); n != 4 {
+		t.Fatalf("computes = %d, want 4", n)
+	}
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("len = %d, want cap 2", got)
 	}
 }

@@ -1,0 +1,525 @@
+package subs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mass/internal/query"
+)
+
+// Package subs turns the engine's pull-only read surface into push:
+// clients register a standing query once and receive per-flush result
+// diffs over a stream, instead of polling and re-executing. The hub sits
+// on the engine's publish path — each published generation is compared
+// against the previous one (computeDelta), every subscription's result
+// is advanced incrementally where the delta and query shape allow
+// (evalState.incremental), and the resulting diff event is pushed into
+// per-subscriber bounded queues. Slow consumers coalesce to the newest
+// diff; they never block the flush path.
+
+// ErrClosed is returned by operations against a shut-down hub.
+var ErrClosed = errors.New("subs: hub closed")
+
+// ErrNotFound is returned when a subscription ID is unknown (canceled,
+// GC'd, or never registered).
+var ErrNotFound = errors.New("subs: subscription not found")
+
+// ErrAttached is returned by Attach when the subscription already has a
+// live event-stream consumer.
+var ErrAttached = errors.New("subs: subscription already has an attached consumer")
+
+// Options tunes the hub. Zero values select the defaults.
+type Options struct {
+	// BufferSize bounds each subscriber's pending-event queue. When a
+	// push would exceed it the queue is coalesced to just the newest
+	// event (drop-to-latest) and the dropped count is recorded.
+	BufferSize int
+	// IdleTTL is how long a subscription may sit with no attached
+	// consumer and no Snapshot/resync activity before GC cancels it.
+	IdleTTL time.Duration
+	// GCInterval is how often idle subscriptions are collected.
+	GCInterval time.Duration
+	// EvalWorkers bounds how many subscriptions are evaluated in
+	// parallel per processed generation. Subscription evaluations are
+	// independent (per-subscription state is mutex-guarded, the delta
+	// and evaluation context are read-only), so the fan-out shards
+	// across a pool. Default: GOMAXPROCS, capped at 8.
+	EvalWorkers int
+}
+
+const (
+	defaultBufferSize = 8
+	defaultIdleTTL    = 5 * time.Minute
+	defaultGCInterval = time.Minute
+)
+
+func (o Options) withDefaults() Options {
+	if o.BufferSize <= 0 {
+		o.BufferSize = defaultBufferSize
+	}
+	if o.IdleTTL <= 0 {
+		o.IdleTTL = defaultIdleTTL
+	}
+	if o.GCInterval <= 0 {
+		o.GCInterval = defaultGCInterval
+	}
+	if o.EvalWorkers <= 0 {
+		o.EvalWorkers = runtime.GOMAXPROCS(0)
+		if o.EvalWorkers > 8 {
+			o.EvalWorkers = 8
+		}
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the hub's counters, surfaced
+// through EngineStatus / GET /api/v1/engine.
+type Stats struct {
+	Subscribers       int    `json:"subscribers"`
+	PushedDiffs       uint64 `json:"pushedDiffs"`
+	DroppedDiffs      uint64 `json:"droppedDiffs"`
+	IncrementalEvals  uint64 `json:"incrementalEvals"`
+	FullEvalFallbacks uint64 `json:"fullEvalFallbacks"`
+}
+
+// Hub is the subscription registry and fan-out pump. Publish hands it a
+// generation and returns immediately — a worker goroutine picks it up,
+// computes the publish delta once, and shards subscription evaluation
+// across an EvalWorkers pool; a 1-slot latest-wins mailbox between
+// publisher and worker guarantees the flush path never waits on
+// subscription work. If generations outpace the worker, intermediate
+// ones are skipped; the delta is computed by exact state comparison
+// between the last processed and the newest generation, so skipping is
+// lossless (clients see one combined diff).
+type Hub struct {
+	opts Options
+
+	mu     sync.Mutex
+	subs   map[string]*Subscription
+	prev   Generation // last processed generation
+	closed bool
+
+	pending chan Generation // cap 1, latest wins
+	quit    chan struct{}
+	done    chan struct{}
+
+	pushed    atomic.Uint64
+	dropped   atomic.Uint64
+	incEvals  atomic.Uint64
+	fullEvals atomic.Uint64
+}
+
+// NewHub starts a hub whose subscriptions register against the given
+// initial generation.
+func NewHub(initial Generation, opts Options) *Hub {
+	h := &Hub{
+		opts:    opts.withDefaults(),
+		subs:    make(map[string]*Subscription),
+		prev:    initial,
+		pending: make(chan Generation, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go h.run()
+	return h
+}
+
+// Publish hands a newly published generation to the hub. It never
+// blocks: the 1-slot mailbox is drained-and-replaced so the newest
+// generation always wins, and the flush path continues immediately.
+func (h *Hub) Publish(gen Generation) {
+	for {
+		select {
+		case h.pending <- gen:
+			return
+		default:
+			select {
+			case <-h.pending:
+			default:
+			}
+		}
+	}
+}
+
+// run is the worker loop: process pending generations, collect idle
+// subscriptions, exit on shutdown.
+func (h *Hub) run() {
+	defer close(h.done)
+	gc := time.NewTicker(h.opts.GCInterval)
+	defer gc.Stop()
+	for {
+		select {
+		case <-h.quit:
+			return
+		case gen := <-h.pending:
+			h.process(gen)
+		case <-gc.C:
+			h.collectIdle(time.Now())
+		}
+	}
+}
+
+// Apply processes one generation synchronously on the caller's
+// goroutine — the deterministic entry point benchmarks and tests use to
+// measure evaluation work without mailbox scheduling.
+func (h *Hub) Apply(gen Generation) { h.process(gen) }
+
+func (h *Hub) process(gen Generation) {
+	h.mu.Lock()
+	if h.closed || gen.Seq <= h.prev.Seq {
+		h.mu.Unlock()
+		return
+	}
+	prev := h.prev
+	h.prev = gen
+	targets := make([]*Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		targets = append(targets, s)
+	}
+	h.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	d := computeDelta(prev, gen)
+	// One shared evaluation context per generation: every subscription's
+	// evaluator reuses the same resolved post table instead of paying a
+	// corpus-map pass each. Warm it before sharding so it is read-only
+	// for the workers.
+	ctx, err := query.NewEvalContext(gen.Corpus, gen.Result)
+	if err != nil {
+		return
+	}
+	ctx.Warm()
+	// Shard the fan-out: subscription evaluations are independent, so a
+	// strided worker pool brings all subscribers current in parallel.
+	// evalSub errors are deliberately ignored — a query that evaluated
+	// at registration cannot fail against a later generation of the same
+	// schema; if it somehow does, the subscription goes stale and the
+	// client's gap detection forces a resync.
+	workers := h.opts.EvalWorkers
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers <= 1 {
+		for _, s := range targets {
+			_ = h.evalSub(s, gen, ctx, d)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(targets); i += workers {
+				_ = h.evalSub(targets[i], gen, ctx, d)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// evalSub advances one subscription to gen and enqueues the diff event.
+func (h *Hub) evalSub(s *Subscription, gen Generation, ctx *query.EvalContext, d *delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.st.seq >= gen.Seq {
+		return nil
+	}
+	prevSeq := s.st.seq
+	oldRes := s.st.result()
+	if s.st.diffSafe && d.sound && s.st.seq == d.prev.Seq {
+		fellBack, err := s.st.incremental(gen, ctx, d)
+		if err != nil {
+			return err
+		}
+		if fellBack {
+			h.fullEvals.Add(1)
+		} else {
+			h.incEvals.Add(1)
+		}
+	} else {
+		if err := s.st.fullEval(gen, ctx); err != nil {
+			return err
+		}
+		h.fullEvals.Add(1)
+	}
+	s.pushLocked(diffEvent(prevSeq, oldRes, gen.Seq, s.st.result()), h)
+	h.pushed.Add(1)
+	return nil
+}
+
+// Subscribe registers q as a standing subscription against the current
+// generation. It returns the subscription plus the seq and full result
+// the registration snapshot evaluated to — the client's initial replica
+// state.
+func (h *Hub) Subscribe(q *query.Query) (*Subscription, uint64, *query.Result, error) {
+	st, err := newEvalState(q)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, 0, nil, ErrClosed
+	}
+	gen := h.prev
+	h.mu.Unlock()
+	// Evaluate outside the hub lock: registration cost must not stall
+	// the publish worker or other registrations.
+	ctx, err := query.NewEvalContext(gen.Corpus, gen.Result)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if err := st.fullEval(gen, ctx); err != nil {
+		return nil, 0, nil, err
+	}
+	s := &Subscription{
+		id:         newSubID(),
+		st:         st,
+		notify:     make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		lastActive: time.Now(),
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, 0, nil, ErrClosed
+	}
+	h.subs[s.id] = s
+	h.mu.Unlock()
+	return s, st.seq, st.result(), nil
+}
+
+// Get resolves a subscription by ID.
+func (h *Hub) Get(id string) (*Subscription, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	s, ok := h.subs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Cancel removes a subscription and wakes its consumer (which observes
+// the closed state and ends the stream).
+func (h *Hub) Cancel(id string) error {
+	h.mu.Lock()
+	s, ok := h.subs[id]
+	if ok {
+		delete(h.subs, id)
+	}
+	closed := h.closed
+	h.mu.Unlock()
+	if !ok {
+		if closed {
+			return ErrClosed
+		}
+		return ErrNotFound
+	}
+	s.close()
+	return nil
+}
+
+// collectIdle cancels subscriptions that have had no attached consumer
+// and no activity for longer than IdleTTL.
+func (h *Hub) collectIdle(now time.Time) {
+	h.mu.Lock()
+	var idle []*Subscription
+	for id, s := range h.subs {
+		if s.idleSince(now) > h.opts.IdleTTL {
+			delete(h.subs, id)
+			idle = append(idle, s)
+		}
+	}
+	h.mu.Unlock()
+	for _, s := range idle {
+		s.close()
+	}
+}
+
+// Shutdown stops the worker and closes every subscription. It is
+// idempotent and safe to call concurrently with everything else.
+func (h *Hub) Shutdown() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		<-h.done
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.subs = map[string]*Subscription{}
+	h.mu.Unlock()
+	close(h.quit)
+	<-h.done
+	for _, s := range subs {
+		s.close()
+	}
+}
+
+// Stats snapshots the hub's counters.
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	n := len(h.subs)
+	h.mu.Unlock()
+	return Stats{
+		Subscribers:       n,
+		PushedDiffs:       h.pushed.Load(),
+		DroppedDiffs:      h.dropped.Load(),
+		IncrementalEvals:  h.incEvals.Load(),
+		FullEvalFallbacks: h.fullEvals.Load(),
+	}
+}
+
+// Seq reports the last processed generation's seq.
+func (h *Hub) Seq() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.prev.Seq
+}
+
+func newSubID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("subs: crypto/rand unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Subscription is one registered standing query: the maintained result
+// state plus a bounded queue of diff events awaiting the consumer.
+// At most one consumer may be attached at a time (SSE streams are
+// single-reader); Snapshot serves resync fetches.
+type Subscription struct {
+	id string
+
+	mu         sync.Mutex
+	st         *evalState
+	queue      []*Event
+	closed     bool
+	attached   bool
+	lastActive time.Time
+
+	notify chan struct{} // cap 1: "queue non-empty" edge signal
+	done   chan struct{} // closed on cancel/GC/shutdown
+}
+
+// ID is the subscription's opaque identifier.
+func (s *Subscription) ID() string { return s.id }
+
+// Query returns the normalized standing query.
+func (s *Subscription) Query() *query.Query { return s.st.q }
+
+// Done is closed when the subscription is canceled, GC'd, or the hub
+// shuts down.
+func (s *Subscription) Done() <-chan struct{} { return s.done }
+
+// Notify signals (edge-triggered, coalesced) that the queue may have
+// events; consumers select on it alongside Done.
+func (s *Subscription) Notify() <-chan struct{} { return s.notify }
+
+// pushLocked enqueues an event under s.mu. When the queue is full it is
+// coalesced down to just the newest event — the diff chain is broken,
+// the consumer's replica will detect the gap (PrevSeq mismatch) and
+// resync — so a stalled consumer costs O(BufferSize) memory and zero
+// publish latency, and on resume it sees the newest seq immediately.
+func (s *Subscription) pushLocked(ev *Event, h *Hub) {
+	if s.closed {
+		return
+	}
+	if len(s.queue) >= h.opts.BufferSize {
+		h.dropped.Add(uint64(len(s.queue)))
+		s.queue = s.queue[:0]
+	}
+	s.queue = append(s.queue, ev)
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// TryNext pops the oldest pending event, or nil when the queue is
+// empty.
+func (s *Subscription) TryNext() *Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 {
+		return nil
+	}
+	ev := s.queue[0]
+	s.queue = s.queue[1:]
+	s.lastActive = time.Now()
+	return ev
+}
+
+// Snapshot returns the subscription's maintained result and the seq it
+// reflects — the resync target. It is the sub's own state, not a fresh
+// engine query: the returned seq is always on the subscription's
+// processed-generation chain, so subsequent events chain from it even
+// when the hub skipped intermediate generations.
+func (s *Subscription) Snapshot() (uint64, *query.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastActive = time.Now()
+	return s.st.seq, s.st.result()
+}
+
+// Attach claims the subscription's single consumer slot.
+func (s *Subscription) Attach() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.attached {
+		return ErrAttached
+	}
+	s.attached = true
+	s.lastActive = time.Now()
+	return nil
+}
+
+// Detach releases the consumer slot.
+func (s *Subscription) Detach() {
+	s.mu.Lock()
+	s.attached = false
+	s.lastActive = time.Now()
+	s.mu.Unlock()
+}
+
+// idleSince reports how long the subscription has been consumer-less.
+// An attached subscription is never idle.
+func (s *Subscription) idleSince(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attached || s.closed {
+		return 0
+	}
+	return now.Sub(s.lastActive)
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queue = nil
+	s.mu.Unlock()
+	close(s.done)
+}

@@ -1,0 +1,519 @@
+package subs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/classify"
+	"mass/internal/influence"
+	"mass/internal/query"
+	"mass/internal/synth"
+)
+
+// genChain builds a sequence of analyzed generations the way the engine
+// does: one mutable corpus, each generation a frozen snapshot analyzed
+// through the incremental cache (so unchanged entities stay
+// bit-identical across generations, the property the delta and the
+// incremental evaluator both lean on).
+type genChain struct {
+	t      *testing.T
+	an     *influence.Analyzer
+	cache  *influence.Cache
+	corpus *blog.Corpus
+	seq    uint64
+	prev   *influence.Result
+}
+
+func newGenChain(t *testing.T, seed int64, bloggers, posts int) *genChain {
+	t.Helper()
+	c, _, err := synth.Generate(synth.Config{Seed: seed, Bloggers: bloggers, Posts: posts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := classify.TrainNaiveBayes(synth.TrainingExamples(nil, 30, 2011))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := influence.NewAnalyzer(influence.Config{Workers: 2}, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &genChain{t: t, an: an, cache: influence.NewCache(), corpus: c}
+}
+
+// next mutates the working corpus and publishes the result as the next
+// generation. A nil mutate republishes the same state under a new seq.
+func (g *genChain) next(mutate func(c *blog.Corpus)) Generation {
+	g.t.Helper()
+	if mutate != nil {
+		mutate(g.corpus)
+	}
+	frozen := g.corpus.Snapshot()
+	res, err := g.an.AnalyzeCached(frozen, g.prev, g.cache)
+	if err != nil {
+		g.t.Fatal(err)
+	}
+	g.seq++
+	g.prev = res
+	return Generation{Seq: g.seq, Corpus: frozen, Result: res}
+}
+
+// addPosts appends n fresh posts (with one comment each) by existing
+// authors — the typical live flush.
+func addPosts(t *testing.T, round, n int) func(c *blog.Corpus) {
+	return func(c *blog.Corpus) {
+		t.Helper()
+		authors := c.BloggerIDs()
+		var maxPosted time.Time
+		for _, p := range c.Posts {
+			if p.Posted.After(maxPosted) {
+				maxPosted = p.Posted
+			}
+		}
+		for i := 0; i < n; i++ {
+			pid := blog.PostID(fmt.Sprintf("live-%d-%d", round, i))
+			if err := c.AddPost(&blog.Post{
+				ID: pid, Author: authors[(round*7+i)%len(authors)],
+				Posted: maxPosted.Add(time.Duration(i+1) * time.Minute),
+				Body:   fmt.Sprintf("fresh travel notes and sports commentary, round %d issue %d", round, i),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.AddComment(pid, blog.Comment{
+				Commenter: authors[(round*3+i+5)%len(authors)], Text: "great update, thanks",
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func mustDecode(t *testing.T, body string) *query.Query {
+	t.Helper()
+	q, err := query.Decode([]byte(body))
+	if err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	return q
+}
+
+func resultJSON(t *testing.T, res *query.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// execute runs a fresh full query against one generation.
+func execute(t *testing.T, gen Generation, q *query.Query) *query.Result {
+	t.Helper()
+	res, err := query.Execute(gen.Corpus, gen.Result, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The standing queries the equivalence tests sweep: entity scans across
+// plans, predicates, multi-key orders, pagination and projections.
+var diffSafeQueries = []string{
+	`{"entity":"bloggers"}`,
+	`{"entity":"bloggers","orderBy":[{"field":"ap","desc":true}],"limit":5,"select":["ap","gl","posts"]}`,
+	`{"entity":"bloggers","where":{"field":"posts","op":"gt","value":2},"orderBy":[{"field":"gl","desc":true},{"field":"influence","desc":true}],"limit":8,"offset":3}`,
+	`{"entity":"posts","limit":15}`,
+	`{"entity":"posts","where":{"field":"comments","op":"ge","value":1},"orderBy":[{"field":"quality","desc":true}],"limit":10,"select":["quality","novelty"]}`,
+	`{"entity":"posts","where":{"or":[{"field":"novelty","op":"gt","value":0.5},{"field":"sentiment","op":"ge","value":0.4}]},"orderBy":[{"field":"sentiment","desc":true},{"field":"novelty"}],"limit":12,"offset":2}`,
+}
+
+// TestIncrementalMatchesExecute is the core soundness property: an
+// evalState advanced generation-by-generation through the incremental
+// path produces, at every step, a result byte-identical to a fresh
+// Execute of the same query at the same generation.
+func TestIncrementalMatchesExecute(t *testing.T) {
+	g := newGenChain(t, 42, 60, 400)
+	gens := []Generation{g.next(nil)}
+	for round := 1; round <= 4; round++ {
+		gens = append(gens, g.next(addPosts(t, round, 4)))
+	}
+	for _, body := range diffSafeQueries {
+		q := mustDecode(t, body)
+		st, err := newEvalState(q)
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if !st.diffSafe {
+			t.Fatalf("%s: expected diff-safe", body)
+		}
+		ctx0, err := query.NewEvalContext(gens[0].Corpus, gens[0].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.fullEval(gens[0], ctx0); err != nil {
+			t.Fatal(err)
+		}
+		incrementals := 0
+		for i := 1; i < len(gens); i++ {
+			d := computeDelta(gens[i-1], gens[i])
+			if !d.sound {
+				t.Fatalf("%s: gen %d delta unsound (additive flush must stay sound)", body, i)
+			}
+			ctx, err := query.NewEvalContext(gens[i].Corpus, gens[i].Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fellBack, err := st.incremental(gens[i], ctx, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fellBack {
+				incrementals++
+			}
+			got := resultJSON(t, st.result())
+			want := resultJSON(t, execute(t, gens[i], q))
+			if got != want {
+				t.Fatalf("%s: gen %d incremental result diverged\ngot:  %s\nwant: %s", body, i, got, want)
+			}
+		}
+		if incrementals == 0 {
+			t.Fatalf("%s: every step fell back; incremental path untested", body)
+		}
+	}
+}
+
+// TestDeltaRemovalUnsound: a generation pair where entities disappear
+// must be flagged unsound (diff maintenance would silently keep ghost
+// rows), while the additive direction stays sound.
+func TestDeltaRemovalUnsound(t *testing.T) {
+	g := newGenChain(t, 7, 30, 150)
+	base := g.next(nil)
+	grown := g.next(addPosts(t, 1, 5))
+	if d := computeDelta(base, grown); !d.sound {
+		t.Fatal("additive delta reported unsound")
+	}
+	if d := computeDelta(grown, base); d.sound {
+		t.Fatal("removal delta reported sound")
+	}
+}
+
+// TestHubReplayByteIdentical is the end-to-end equivalence: a client
+// that seeds its replica from the registration response and replays
+// every pushed diff reconstructs, at every generation, a result
+// byte-identical to a fresh full query at that seq — for diff-safe and
+// fallback (aggregate/domains) queries alike.
+func TestHubReplayByteIdentical(t *testing.T) {
+	g := newGenChain(t, 11, 50, 300)
+	gen0 := g.next(nil)
+	h := NewHub(gen0, Options{})
+	defer h.Shutdown()
+
+	queries := append([]string{}, diffSafeQueries...)
+	queries = append(queries,
+		`{"entity":"domains"}`,
+		`{"entity":"posts","aggregate":{"op":"mean","field":"quality"}}`,
+	)
+	type tracked struct {
+		body string
+		sub  *Subscription
+		cs   *ClientState
+	}
+	var subsList []tracked
+	for _, body := range queries {
+		q := mustDecode(t, body)
+		sub, seq, res, err := h.Subscribe(q)
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if seq != gen0.Seq {
+			t.Fatalf("%s: registered at seq %d, want %d", body, seq, gen0.Seq)
+		}
+		if got, want := resultJSON(t, res), resultJSON(t, execute(t, gen0, q)); got != want {
+			t.Fatalf("%s: registration result diverged\ngot:  %s\nwant: %s", body, got, want)
+		}
+		subsList = append(subsList, tracked{body, sub, NewClientState(seq, res)})
+	}
+
+	for round := 1; round <= 3; round++ {
+		gen := g.next(addPosts(t, round, 4))
+		h.Apply(gen)
+		for _, tr := range subsList {
+			ev := tr.sub.TryNext()
+			if ev == nil {
+				t.Fatalf("%s: no event for gen %d", tr.body, gen.Seq)
+			}
+			outcome, err := tr.cs.Apply(ev)
+			if outcome != Applied {
+				t.Fatalf("%s: gen %d apply outcome %v (%v)", tr.body, gen.Seq, outcome, err)
+			}
+			got := resultJSON(t, tr.cs.Result())
+			want := resultJSON(t, execute(t, gen, mustDecode(t, tr.body)))
+			if got != want {
+				t.Fatalf("%s: gen %d replayed result diverged\ngot:  %s\nwant: %s", tr.body, gen.Seq, got, want)
+			}
+		}
+	}
+	st := h.Stats()
+	if st.IncrementalEvals == 0 {
+		t.Fatal("no incremental evaluations recorded")
+	}
+	if st.FullEvalFallbacks == 0 {
+		t.Fatal("aggregate/domains subscriptions must count as fallbacks")
+	}
+}
+
+// TestUnchangedEventAdvancesSeq: republishing identical analysis state
+// under a new seq pushes a pure seq-advance event that keeps the chain
+// unbroken without carrying rows.
+func TestUnchangedEventAdvancesSeq(t *testing.T) {
+	g := newGenChain(t, 13, 20, 100)
+	gen0 := g.next(nil)
+	h := NewHub(gen0, Options{})
+	defer h.Shutdown()
+	q := mustDecode(t, `{"entity":"bloggers","limit":5}`)
+	sub, seq, res, err := h.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewClientState(seq, res)
+	h.Apply(Generation{Seq: gen0.Seq + 1, Corpus: gen0.Corpus, Result: gen0.Result})
+	ev := sub.TryNext()
+	if ev == nil {
+		t.Fatal("no event")
+	}
+	if !ev.Unchanged || len(ev.Rows) != 0 || ev.Order != nil {
+		t.Fatalf("expected bare unchanged event, got %+v", ev)
+	}
+	if outcome, err := cs.Apply(ev); outcome != Applied || err != nil {
+		t.Fatalf("apply: %v %v", outcome, err)
+	}
+	if cs.Seq() != gen0.Seq+1 {
+		t.Fatalf("client at seq %d", cs.Seq())
+	}
+	if got, want := resultJSON(t, cs.Result()), resultJSON(t, res); got != want {
+		t.Fatalf("unchanged apply mutated replica\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestDropToLatest: a consumer that stalls through several flushes gets
+// the newest generation's event on resume, detects the gap, and resyncs
+// from the subscription snapshot.
+func TestDropToLatest(t *testing.T) {
+	g := newGenChain(t, 17, 30, 150)
+	gen0 := g.next(nil)
+	h := NewHub(gen0, Options{BufferSize: 1})
+	defer h.Shutdown()
+	q := mustDecode(t, `{"entity":"posts","orderBy":[{"field":"quality","desc":true}],"limit":10}`)
+	sub, seq, res, err := h.Subscribe(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewClientState(seq, res)
+
+	var last Generation
+	for round := 1; round <= 3; round++ {
+		last = g.next(addPosts(t, round, 3))
+		h.Apply(last)
+	}
+	ev := sub.TryNext()
+	if ev == nil {
+		t.Fatal("no event after stall")
+	}
+	if ev.Seq != last.Seq {
+		t.Fatalf("resumed with seq %d, want newest %d", ev.Seq, last.Seq)
+	}
+	if h.Stats().DroppedDiffs == 0 {
+		t.Fatal("no drops recorded")
+	}
+	if outcome, _ := cs.Apply(ev); outcome != Gap {
+		t.Fatalf("expected gap, got %v", outcome)
+	}
+	rseq, rres := sub.Snapshot()
+	if rseq != last.Seq {
+		t.Fatalf("snapshot at seq %d, want %d", rseq, last.Seq)
+	}
+	cs.Resync(rseq, rres)
+	got := resultJSON(t, cs.Result())
+	want := resultJSON(t, execute(t, last, q))
+	if got != want {
+		t.Fatalf("resynced replica diverged\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestPublishNeverBlocks: with a stalled subscriber and no worker
+// draining (the mailbox already full), Publish must still return
+// immediately — the flush path's non-negotiable.
+func TestPublishNeverBlocks(t *testing.T) {
+	g := newGenChain(t, 19, 20, 100)
+	gen0 := g.next(nil)
+	h := NewHub(gen0, Options{BufferSize: 1})
+	defer h.Shutdown()
+	if _, _, _, err := h.Subscribe(mustDecode(t, `{"entity":"bloggers"}`)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			h.Publish(Generation{Seq: gen0.Seq + uint64(i) + 1, Corpus: gen0.Corpus, Result: gen0.Result})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Publish blocked")
+	}
+}
+
+// TestAttachSingleConsumer: the consumer slot is exclusive and
+// releasable.
+func TestAttachSingleConsumer(t *testing.T) {
+	g := newGenChain(t, 23, 20, 100)
+	h := NewHub(g.next(nil), Options{})
+	defer h.Shutdown()
+	sub, _, _, err := h.Subscribe(mustDecode(t, `{"entity":"bloggers"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Attach(); err != ErrAttached {
+		t.Fatalf("second attach: %v", err)
+	}
+	sub.Detach()
+	if err := sub.Attach(); err != nil {
+		t.Fatalf("re-attach after detach: %v", err)
+	}
+}
+
+// TestCancelAndShutdown: cancel closes Done and unregisters; Subscribe
+// after Shutdown reports ErrClosed.
+func TestCancelAndShutdown(t *testing.T) {
+	g := newGenChain(t, 29, 20, 100)
+	h := NewHub(g.next(nil), Options{})
+	sub, _, _, err := h.Subscribe(mustDecode(t, `{"entity":"posts"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Cancel(sub.ID()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sub.Done():
+	default:
+		t.Fatal("Done not closed after cancel")
+	}
+	if _, err := h.Get(sub.ID()); err != ErrNotFound {
+		t.Fatalf("Get after cancel: %v", err)
+	}
+	if err := h.Cancel(sub.ID()); err != ErrNotFound {
+		t.Fatalf("double cancel: %v", err)
+	}
+	h.Shutdown()
+	h.Shutdown() // idempotent
+	if _, _, _, err := h.Subscribe(mustDecode(t, `{"entity":"posts"}`)); err != ErrClosed {
+		t.Fatalf("Subscribe after shutdown: %v", err)
+	}
+}
+
+// TestIdleGC: a subscription with no attached consumer past the TTL is
+// collected; an attached one survives.
+func TestIdleGC(t *testing.T) {
+	g := newGenChain(t, 31, 20, 100)
+	h := NewHub(g.next(nil), Options{IdleTTL: time.Minute})
+	defer h.Shutdown()
+	idle, _, _, err := h.Subscribe(mustDecode(t, `{"entity":"bloggers"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, _, _, err := h.Subscribe(mustDecode(t, `{"entity":"posts"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	h.collectIdle(time.Now().Add(2 * time.Minute))
+	if _, err := h.Get(idle.ID()); err != ErrNotFound {
+		t.Fatalf("idle subscription survived GC: %v", err)
+	}
+	if _, err := h.Get(live.ID()); err != nil {
+		t.Fatalf("attached subscription collected: %v", err)
+	}
+	select {
+	case <-idle.Done():
+	default:
+		t.Fatal("GC'd subscription's Done not closed")
+	}
+}
+
+// TestHubChurnRace is the hub-level churn test (run with -race):
+// subscribe/consume/cancel churn against a publisher pumping
+// generations, ending in Shutdown racing the lot.
+func TestHubChurnRace(t *testing.T) {
+	g := newGenChain(t, 37, 30, 150)
+	gen0 := g.next(nil)
+	gen1 := g.next(addPosts(t, 1, 3))
+	h := NewHub(gen0, Options{BufferSize: 2})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Publisher: alternate two real generations under increasing seqs
+	// (the backward direction is an unsound delta — the full-eval
+	// fallback races too).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := gen1.Seq
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seq++
+			src := gen0
+			if i%2 == 0 {
+				src = gen1
+			}
+			h.Publish(Generation{Seq: seq, Corpus: src.Corpus, Result: src.Result})
+		}
+	}()
+	// Churners: subscribe, consume a little, cancel or abandon.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bodies := []string{`{"entity":"bloggers","limit":5}`, `{"entity":"posts","limit":7}`, `{"entity":"domains"}`}
+			for i := 0; i < 50; i++ {
+				sub, _, _, err := h.Subscribe(mustDecode(t, bodies[(w+i)%len(bodies)]))
+				if err != nil {
+					if err == ErrClosed {
+						return
+					}
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if err := sub.Attach(); err == nil {
+						sub.TryNext()
+						sub.Detach()
+					}
+				}
+				sub.Snapshot()
+				if i%3 != 0 { // every third is abandoned to the churn
+					h.Cancel(sub.ID())
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	h.Shutdown() // races the publisher and churners deliberately
+	close(stop)
+	wg.Wait()
+}
