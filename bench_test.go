@@ -28,6 +28,7 @@ import (
 	"mass/internal/blog"
 	"mass/internal/blogserver"
 	"mass/internal/classify"
+	"mass/internal/cluster"
 	"mass/internal/core"
 	"mass/internal/crawler"
 	"mass/internal/experiments"
@@ -1106,4 +1107,150 @@ func BenchmarkSubscriptionFanout(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardScatterGather measures what consistent-hash sharding buys
+// on a 50k-node / ~480k-edge Zipf corpus (one post per blogger): per-flush
+// re-analysis cost when a mutation lands on one shard (the owner shard
+// re-analyzes 1/N of the corpus), and filtered-query latency for an
+// author-pinned posts query (routed to the owner shard, scanning 1/N of
+// the posts). The 8-shard global PageRank must also complete without a
+// merged-solve fallback (mergeFallbacks == 0) — the boundary residual
+// correction, not the escape hatch, produces the global ranking.
+func BenchmarkShardScatterGather(b *testing.B) {
+	const nodes = 50_000
+	const edgeDraws = 480_000
+	// Each shard count gets a freshly built corpus: the 1-shard cluster is
+	// a pass-through sharing the preload corpus object, so flush probes
+	// from one configuration must not leak into the next.
+	buildCorpus := func() (*blog.Corpus, []blog.BloggerID, int) {
+		rng := rand.New(rand.NewSource(2010))
+		zipf := rand.NewZipf(rng, 1.3, 8, nodes-1)
+		corpus := blog.NewCorpus()
+		ids := make([]blog.BloggerID, nodes)
+		for i := range ids {
+			ids[i] = blog.BloggerID(fmt.Sprintf("b%05d", i))
+			if err := corpus.AddBlogger(&blog.Blogger{ID: ids[i], Name: string(ids[i])}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Diverse bodies: posts drawing from a large vocabulary keep
+		// shingle overlap rare, so near-duplicate detection stays on its
+		// indexed fast path (identical bodies would degenerate it to
+		// all-pairs compares).
+		body := func(i int) string {
+			var sb []byte
+			for w := 0; w < 12; w++ {
+				sb = append(sb, fmt.Sprintf("w%04d ", rng.Intn(4000))...)
+			}
+			return string(sb) + fmt.Sprintf("report%d", i)
+		}
+		for i, id := range ids {
+			err := corpus.AddPost(&blog.Post{
+				ID:     blog.PostID(fmt.Sprintf("p%05d", i)),
+				Author: id,
+				Title:  "report",
+				Body:   body(i),
+				Posted: time.Unix(1250000000+int64(i)*60, 0),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		edges := 0
+		seen := map[int64]struct{}{}
+		for k := 0; k < edgeDraws; k++ {
+			f := rng.Intn(nodes)
+			t := int(zipf.Uint64())
+			key := int64(f)<<32 | int64(uint32(t))
+			if f == t {
+				continue
+			}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if err := corpus.AddLink(ids[f], ids[t]); err != nil {
+				b.Fatal(err)
+			}
+			edges++
+		}
+		return corpus, ids, edges
+	}
+
+	ctx := context.Background()
+	flushSeq := 0 // unique probe post IDs across sub-benchmark reruns
+	for _, n := range []int{1, 8} {
+		corpus, ids, edges := buildCorpus()
+		b.Logf("shards=%d corpus: %d bloggers, %d posts, %d edges", n, nodes, nodes, edges)
+		cl, err := cluster.New(corpus, cluster.Options{
+			Shards:       n,
+			ShardTimeout: 30 * time.Second,
+			Engine:       core.EngineOptions{FlushEvery: 1 << 30, FlushInterval: 1 << 40},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Authors grouped by owner shard, so flush batches stay intra-shard.
+		byShard := make([][]blog.BloggerID, n)
+		for _, id := range ids {
+			s := cl.Owner(id)
+			byShard[s] = append(byShard[s], id)
+		}
+
+		if n > 1 {
+			gr, err := cl.GlobalPageRank(linkrank.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if gr.Fallback || cl.FullStatus().MergeFallbacks != 0 {
+				b.Fatalf("global PageRank fell back to a merged solve (boundary=%d residual=%g)",
+					gr.BoundaryEdges, gr.Residual)
+			}
+		}
+
+		b.Run(fmt.Sprintf("query/shards=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			v := cl.View()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				author := ids[i%len(ids)]
+				q := query.Posts().
+					Where(query.F(query.FieldAuthor).Is(string(author))).
+					OrderBy(query.Desc(query.FieldPosted)).Limit(20).Build()
+				res, _, err := cl.Query(v, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Total < 1 {
+					b.Fatalf("author %s: total %d, want >= 1", author, res.Total)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("flush/shards=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				si := i % n
+				author := byShard[si][i%len(byShard[si])]
+				flushSeq++
+				err := cl.AddBatch(core.Batch{Posts: []*blog.Post{{
+					ID:     blog.PostID(fmt.Sprintf("fl-%d", flushSeq)),
+					Author: author,
+					Title:  "flush probe",
+					Body:   "a fresh probe post about the markets to fold in",
+					Posted: time.Unix(1260000000+int64(flushSeq), 0),
+				}}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := cl.Shard(si).Refresh(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		cl.Close()
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"mass/internal/experiments"
@@ -27,12 +28,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mass-bench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: all|table1|fig1|fig2|fig3|fig4|alpha|beta|ablation|classifier|convergence|scalability")
-		scale    = flag.String("scale", "default", "workload scale: default|paper|small")
-		seed     = flag.Int64("seed", 0, "override workload seed (0 = experiment default)")
-		bloggers = flag.Int("bloggers", 0, "override corpus size")
-		posts    = flag.Int("posts", 0, "override post count")
-		csvDir   = flag.String("csv", "", "also write series data as CSV files into this directory")
+		exp       = flag.String("exp", "all", "experiment: all|table1|fig1|fig2|fig3|fig4|alpha|beta|ablation|classifier|convergence|scalability|sharding")
+		scale     = flag.String("scale", "default", "workload scale: default|paper|small")
+		seed      = flag.Int64("seed", 0, "override workload seed (0 = experiment default)")
+		bloggers  = flag.Int("bloggers", 0, "override corpus size")
+		posts     = flag.Int("posts", 0, "override post count")
+		csvDir    = flag.String("csv", "", "also write series data as CSV files into this directory")
+		shardList = flag.String("shards", "1,2,4,8", "shard counts for the sharding experiment (comma-separated)")
 	)
 	flag.Parse()
 	if *csvDir != "" {
@@ -77,6 +79,14 @@ func main() {
 	}
 	if *posts != 0 {
 		cfg.Posts = *posts
+	}
+	var shardCounts []int
+	for _, s := range strings.Split(*shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -shards entry %q", s)
+		}
+		shardCounts = append(shardCounts, n)
 	}
 
 	runners := map[string]func() error{
@@ -182,6 +192,15 @@ func main() {
 			writeCSV("overlap", r.WriteCSV)
 			return nil
 		},
+		"sharding": func() error {
+			r, err := experiments.ExperimentSharding(cfg, shardCounts)
+			if err != nil {
+				return err
+			}
+			r.Format(os.Stdout)
+			writeCSV("sharding", r.WriteCSV)
+			return nil
+		},
 		"extensions": func() error {
 			r, err := experiments.ExperimentExtensions(cfg)
 			if err != nil {
@@ -193,7 +212,7 @@ func main() {
 	}
 	order := []string{"table1", "fig1", "fig2", "fig3", "fig4",
 		"alpha", "beta", "ablation", "classifier", "convergence",
-		"scalability", "overlap", "extensions"}
+		"scalability", "sharding", "overlap", "extensions"}
 
 	var todo []string
 	if *exp == "all" {

@@ -11,6 +11,9 @@
 //	mass-server -crawl http://blogs:9090 -seed Amery   stream-crawl into the engine
 //	mass-server -data-dir ./data -addr :8080           durable ingest: WAL + checkpoints,
 //	                                                   crash recovery on boot
+//	mass-server -shards 4 -addr :8080                  consistent-hash partition the corpus
+//	                                                   across 4 engine shards behind a
+//	                                                   scatter-gather coordinator
 //
 //	curl localhost:8080/api/v1                         discovery document
 //	curl 'localhost:8080/api/v1/bloggers/top?limit=3'
@@ -45,6 +48,7 @@ import (
 
 	"mass/internal/api"
 	"mass/internal/blog"
+	"mass/internal/cluster"
 	"mass/internal/core"
 	"mass/internal/crawler"
 	"mass/internal/xmlstore"
@@ -73,6 +77,8 @@ func main() {
 		walSync       = flag.Int("wal-sync", 64, "fsync the WAL every N records (group commit)")
 		walSyncIvl    = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync the WAL at least this often (<0 disables the timer)")
 		ckptEvery     = flag.Int("checkpoint-every", 4096, "write a snapshot once this many WAL records accumulate past the last one")
+		shards        = flag.Int("shards", 1, "engine shards behind the consistent-hash coordinator (1: single engine, full feature set)")
+		shardTimeout  = flag.Duration("shard-timeout", 2*time.Second, "per-shard scatter deadline before a query degrades to a partial result")
 	)
 	flag.Parse()
 
@@ -87,23 +93,29 @@ func main() {
 		}
 	}
 
+	// One code path for every deployment shape: the cluster with one shard
+	// is a byte-identical pass-through to a bare engine (same WAL layout in
+	// -data-dir, same responses), so -shards 1 costs nothing.
 	t0 := time.Now()
-	engine, err := core.NewEngine(corpus, core.EngineOptions{
-		FlushEvery:    *flushEvery,
-		FlushInterval: *flushInterval,
-		Durability: core.DurabilityOptions{
-			Dir:             *dataDir,
-			SyncEvery:       *walSync,
-			SyncInterval:    *walSyncIvl,
-			CheckpointEvery: *ckptEvery,
+	cl, err := cluster.New(corpus, cluster.Options{
+		Shards:       *shards,
+		ShardTimeout: *shardTimeout,
+		DataDir:      *dataDir,
+		Engine: core.EngineOptions{
+			FlushEvery:    *flushEvery,
+			FlushInterval: *flushInterval,
+			Durability: core.DurabilityOptions{
+				SyncEvery:       *walSync,
+				SyncInterval:    *walSyncIvl,
+				CheckpointEvery: *ckptEvery,
+			},
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	snap := engine.Current()
 	if *dataDir != "" {
-		st := engine.Status()
+		st := cl.Status()
 		switch {
 		case st.RecoveryTruncatedAt >= 0:
 			log.Printf("recovered %s: %d WAL records replayed, torn tail truncated at record %d",
@@ -112,7 +124,11 @@ func main() {
 			fmt.Printf("recovered %s: %d WAL records replayed\n", *dataDir, st.RecoveredRecords)
 		}
 	}
-	fmt.Printf("initial analysis in %s (%s)\n", time.Since(t0).Round(time.Millisecond), snap.Stats())
+	fmt.Printf("initial analysis in %s (%s)\n", time.Since(t0).Round(time.Millisecond), cl.Stats(cl.View()))
+	if cl.NumShards() > 1 {
+		fmt.Printf("sharded: %d shards, %d boundary edges, scatter deadline %s\n",
+			cl.NumShards(), cl.BoundaryEdges(), *shardTimeout)
+	}
 
 	if *crawlURL != "" {
 		if *crawlSeed == "" {
@@ -120,7 +136,7 @@ func main() {
 		}
 		go func() {
 			cr := crawler.New(crawler.Config{Workers: *crawlWorkers, Radius: *crawlRadius}, nil)
-			stats, err := cr.Stream(ctx, *crawlURL, blog.BloggerID(*crawlSeed), engine)
+			stats, err := cr.Stream(ctx, *crawlURL, blog.BloggerID(*crawlSeed), cl)
 			if err != nil {
 				log.Printf("streaming crawl: %v", err)
 				return
@@ -151,7 +167,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewEngine(engine, apiOpts...),
+		Handler:           api.NewCluster(cl, apiOpts...),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -164,8 +180,11 @@ func main() {
 		fmt.Println("shutting down ...")
 		// Subscriptions first: closing the hub ends every SSE stream, so
 		// the graceful drain below is not held open by standing
-		// connections that would otherwise never finish.
-		engine.Subscriptions().Shutdown()
+		// connections that would otherwise never finish. (Sharded clusters
+		// have no hub — the surface answers 501 there.)
+		if hub := cl.Subscriptions(); hub != nil {
+			hub.Shutdown()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -177,14 +196,14 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	<-drained // in-flight requests finish before the engine closes
-	// Close folds pending mutations into a final snapshot, syncs the WAL
-	// and — with -data-dir — writes a final checkpoint so the next boot
-	// replays an empty tail.
-	if err := engine.Close(); err != nil {
-		log.Printf("closing engine: %v", err)
+	<-drained // in-flight requests finish before the shards close
+	// Close drains every shard in turn: pending mutations fold into a
+	// final snapshot per shard, WALs sync, and — with -data-dir — each
+	// shard writes a final checkpoint so the next boot replays empty tails.
+	if err := cl.Close(); err != nil {
+		log.Printf("closing cluster: %v", err)
 	}
-	st := engine.Status()
+	st := cl.Status()
 	if *dataDir != "" {
 		fmt.Printf("durable state in %s (%d WAL records, %d syncs, %d checkpoints)\n",
 			*dataDir, st.WALRecords, st.WALSyncs, st.Checkpoints)

@@ -61,6 +61,7 @@ import (
 	"net/http"
 	"strings"
 
+	"mass/internal/cluster"
 	"mass/internal/core"
 )
 
@@ -91,7 +92,8 @@ func WithRateLimit(rps float64, burst int) Option {
 // generations of an Engine — as an http.Handler.
 type Server struct {
 	current func() *core.Snapshot
-	engine  *core.Engine // nil in static (read-only) mode
+	engine  *core.Engine     // nil in static (read-only) mode
+	cluster *cluster.Cluster // set by NewCluster; nil otherwise
 	opts    options
 
 	mux     *http.ServeMux
@@ -106,17 +108,30 @@ type Server struct {
 // is the read-only compatibility mode.
 func New(sys *core.System, opts ...Option) *Server {
 	snap := core.StaticSnapshot(sys)
-	return newServer(func() *core.Snapshot { return snap }, nil, opts)
+	return newServer(func() *core.Snapshot { return snap }, nil, nil, opts)
 }
 
 // NewEngine builds the API server over a live ingestion engine: reads hit
 // the engine's current snapshot and the ingestion endpoints mutate it.
 func NewEngine(e *core.Engine, opts ...Option) *Server {
-	return newServer(e.Current, e, opts)
+	return newServer(e.Current, e, nil, opts)
 }
 
-func newServer(current func() *core.Snapshot, e *core.Engine, optFns []Option) *Server {
-	s := &Server{current: current, engine: e, mux: http.NewServeMux()}
+// NewCluster builds the API server over a sharded engine cluster. Ingest
+// routes through the cluster's consistent-hash ring and reads go through
+// the scatter-gather coordinator. With one shard every path is a
+// pass-through — responses are byte-identical to NewEngine over the same
+// engine. With several, reads pin a per-shard snapshot vector (meta.seqs,
+// dotted into the ETag), scattered reads may come back partial
+// (meta.degraded) when a shard misses its deadline, and the few endpoints
+// whose per-shard analyses cannot be merged (trends, subscriptions)
+// answer 501 unsupported.
+func NewCluster(cl *cluster.Cluster, opts ...Option) *Server {
+	return newServer(cl.Shard(0).Current, cl.Shard(0), cl, opts)
+}
+
+func newServer(current func() *core.Snapshot, e *core.Engine, cl *cluster.Cluster, optFns []Option) *Server {
+	s := &Server{current: current, engine: e, cluster: cl, mux: http.NewServeMux()}
 	for _, fn := range optFns {
 		fn(&s.opts)
 	}

@@ -1,0 +1,405 @@
+package api
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"slices"
+	"sort"
+
+	"mass/internal/blog"
+	"mass/internal/cluster"
+	"mass/internal/core"
+	"mass/internal/query"
+)
+
+// This file is the sharded read path: the route table swaps these handlers
+// in when the server fronts a multi-shard cluster. Reads pin a per-shard
+// snapshot vector (cluster.View) instead of a single snapshot; the dotted
+// seq vector is the strong ETag, meta carries the vector alongside the
+// scalar seq, and scattered reads may come back partial (meta.degraded)
+// when a shard misses its deadline. With one shard none of this is
+// reachable — the single-engine handlers serve, and the coordinator
+// passes queries straight through to the shard's own executor.
+
+// sharded reports whether reads must go through the scatter-gather
+// coordinator rather than a single snapshot.
+func (s *Server) sharded() bool { return s.cluster != nil && s.cluster.NumShards() > 1 }
+
+// addBatch routes a mutation batch: through the cluster's consistent-hash
+// ring when one is attached (a pass-through at one shard), else straight
+// into the engine.
+func (s *Server) addBatch(b core.Batch) error {
+	if s.cluster != nil {
+		return s.cluster.AddBatch(b)
+	}
+	return s.engine.AddBatch(b)
+}
+
+// liveStatus is the ingest acknowledgment's status source.
+func (s *Server) liveStatus() core.EngineStatus {
+	if s.cluster != nil {
+		return s.cluster.Status()
+	}
+	return s.engine.Status()
+}
+
+// clusterEngineResponse is the sharded GET /api/v1/engine payload: the
+// merged engine counters plus the cluster extension fields (shards,
+// shardSeqs, scatterQueries, degradedQueries, boundaryEdges,
+// mergeFallbacks).
+type clusterEngineResponse struct {
+	Live bool `json:"live"`
+	cluster.ClusterStatus
+}
+
+func (s *Server) clusterEngineStatus() clusterEngineResponse {
+	return clusterEngineResponse{Live: true, ClusterStatus: s.cluster.FullStatus()}
+}
+
+// clusterReadHandler answers from one pinned shard-snapshot vector and
+// reports whether any scattered part missed its deadline.
+type clusterReadHandler func(v *cluster.View, r *http.Request) (data any, meta *Meta, degraded bool, aerr *apiError)
+
+// clusterConditionalGET is conditionalGET against the view's vector ETag.
+func clusterConditionalGET(w http.ResponseWriter, r *http.Request, v *cluster.View) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		return false
+	}
+	etag := v.ETag()
+	w.Header().Set("ETag", etag)
+	if !etagMatch(r.Header.Get("If-None-Match"), etag) {
+		return false
+	}
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
+// clusterRead wraps a sharded read: pin a view, honor If-None-Match
+// against the vector validator, and stamp meta with the seq vector and
+// any degradation before enveloping.
+func (s *Server) clusterRead(h clusterReadHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v := s.cluster.View()
+		if clusterConditionalGET(w, r, v) {
+			return
+		}
+		data, meta, degraded, aerr := h(v, r)
+		if aerr != nil {
+			writeAPIError(w, aerr)
+			return
+		}
+		if meta == nil {
+			meta = &Meta{}
+		}
+		meta.Seq = v.MaxSeq()
+		meta.Seqs = v.Seqs()
+		meta.Degraded = degraded
+		writeEnvelope(w, http.StatusOK, Envelope{Data: data, Meta: meta})
+	}
+}
+
+// clusterRawHandler is clusterReadHandler for non-envelope bodies (SVG).
+type clusterRawHandler func(v *cluster.View, r *http.Request) (body []byte, contentType string, aerr *apiError)
+
+func (s *Server) clusterReadRaw(h clusterRawHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v := s.cluster.View()
+		if clusterConditionalGET(w, r, v) {
+			return
+		}
+		body, contentType, aerr := h(v, r)
+		if aerr != nil {
+			writeAPIError(w, aerr)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(body)
+	}
+}
+
+// clusterUnsupported answers 501 for surfaces whose per-shard analyses
+// cannot be merged yet (trends; subscriptions go through the hub() guard).
+func (s *Server) clusterUnsupported(what string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeAPIError(w, errf(http.StatusNotImplemented, ErrCodeUnsupported,
+			"%s is not available on a sharded cluster (per-shard analyses cannot be merged for it); deploy -shards 1", what))
+	}
+}
+
+// ------------------------------------------------------- shared fetchers
+//
+// Cluster analogues of the snapshot fetchers in handlers_read.go, shared
+// by the v1 handlers and the legacy aliases exactly like their
+// single-engine counterparts.
+
+// clusterScored scatters a blogger ranking query and adapts the merged
+// result to ([]scored, Page).
+func (s *Server) clusterScored(v *cluster.View, q *query.Query, limit, offset int) ([]scored, *Page, bool, *apiError) {
+	qr, degraded, err := s.cluster.Query(v, q)
+	if err != nil {
+		return nil, nil, false, errf(http.StatusInternalServerError, ErrCodeInternal, "query: %v", err)
+	}
+	out := rowsToScored(qr.Rows)
+	return out, &Page{Limit: limit, Offset: offset, Total: qr.Total, Count: len(out)}, degraded, nil
+}
+
+func (s *Server) clusterTop(v *cluster.View, limit, offset int) ([]scored, *Page, bool, *apiError) {
+	q := query.Bloggers().
+		OrderBy(query.Desc(query.FieldInfluence)).
+		Limit(limit).Offset(offset).Build()
+	return s.clusterScored(v, q, limit, offset)
+}
+
+func (s *Server) clusterDomainTop(v *cluster.View, domain string, limit, offset int) ([]scored, *Page, bool, *apiError) {
+	q := query.Bloggers().
+		OrderBy(query.Desc(query.DomainKey(domain))).
+		Limit(limit).Offset(offset).Build()
+	return s.clusterScored(v, q, limit, offset)
+}
+
+// clusterBlogger serves a blogger's detail from its owner shard — the one
+// shard holding the blogger's posts and full profile. Influence fields
+// reflect that shard's analysis.
+func (s *Server) clusterBlogger(v *cluster.View, id blog.BloggerID) (bloggerDetail, *apiError) {
+	return fetchBlogger(v.Snaps[s.cluster.Owner(id)], id)
+}
+
+func (s *Server) clusterAdvert(v *cluster.View, req advertRequest) ([]scored, bool, *apiError) {
+	// Classification is corpus-independent given the trained model; shard
+	// 0's classifier is the cluster's designated model.
+	var iv map[string]float64
+	if req.Text != "" {
+		iv = v.Snaps[0].Classifier().Classify(req.Text)
+	} else {
+		iv = query.EqualWeights(req.Domains)
+	}
+	q, aerr := interestQuery(iv, req.K)
+	if aerr != nil {
+		return nil, false, aerr
+	}
+	out, _, degraded, aerr := s.clusterScored(v, q, req.K, 0)
+	return out, degraded, aerr
+}
+
+func (s *Server) clusterProfile(v *cluster.View, req profileRequest) ([]scored, bool, *apiError) {
+	q, aerr := interestQuery(v.Snaps[0].Classifier().Classify(req.Text), req.K)
+	if aerr != nil {
+		return nil, false, aerr
+	}
+	out, _, degraded, aerr := s.clusterScored(v, q, req.K, 0)
+	return out, degraded, aerr
+}
+
+// clusterDomainsList is the union of every shard's rankable domains,
+// sorted for a stable wire order.
+func clusterDomainsList(v *cluster.View) []string {
+	set := map[string]struct{}{}
+	for _, snap := range v.Snaps {
+		for _, d := range snapshotDomains(snap) {
+			set[d] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ------------------------------------------------------------ v1 handlers
+
+func (s *Server) handleClusterStats(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	return s.cluster.Stats(v), nil, false, nil
+}
+
+func (s *Server) handleClusterTop(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	limit, offset, aerr := pageParams(r)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	out, page, degraded, aerr := s.clusterTop(v, limit, offset)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	return out, &Meta{Page: page}, degraded, nil
+}
+
+func (s *Server) handleClusterBlogger(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	detail, aerr := s.clusterBlogger(v, blog.BloggerID(r.PathValue("id")))
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	return detail, nil, false, nil
+}
+
+func (s *Server) handleClusterDomains(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	limit, offset, aerr := pageParams(r)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	all := clusterDomainsList(v)
+	window := []string{}
+	if offset < len(all) {
+		window = all[offset:min(offset+limit, len(all))]
+	}
+	return window, &Meta{Page: &Page{Limit: limit, Offset: offset, Total: len(all), Count: len(window)}}, false, nil
+}
+
+func (s *Server) handleClusterDomainTop(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	name := r.PathValue("name")
+	if !slices.Contains(clusterDomainsList(v), name) {
+		return nil, nil, false, errf(http.StatusNotFound, ErrCodeNotFound, "unknown domain %q", name)
+	}
+	limit, offset, aerr := pageParams(r)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	out, page, degraded, aerr := s.clusterDomainTop(v, name, limit, offset)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	return out, &Meta{Page: page}, degraded, nil
+}
+
+// handleClusterNetwork serves the post-reply network from the center
+// blogger's owner shard: the subgraph that shard's corpus slice holds
+// (cross-shard edges are link-graph state, not comment edges, so the
+// owner shard is where the blogger's reply neighborhood lives).
+func (s *Server) handleClusterNetwork(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	radius, aerr := queryInt(r, "radius", DefaultRadius, 1, MaxRadius)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	id := blog.BloggerID(r.PathValue("id"))
+	net, err := v.Snaps[s.cluster.Owner(id)].Network(id, radius, 1)
+	if err != nil {
+		return nil, nil, false, errf(http.StatusNotFound, ErrCodeNotFound, "%v", err)
+	}
+	return net, nil, false, nil
+}
+
+func (s *Server) handleClusterNetworkSVG(v *cluster.View, r *http.Request) ([]byte, string, *apiError) {
+	radius, aerr := queryInt(r, "radius", DefaultRadius, 1, MaxRadius)
+	if aerr != nil {
+		return nil, "", aerr
+	}
+	id := blog.BloggerID(r.PathValue("id"))
+	net, err := v.Snaps[s.cluster.Owner(id)].Network(id, radius, 1)
+	if err != nil {
+		return nil, "", errf(http.StatusNotFound, ErrCodeNotFound, "%v", err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteSVG(&buf, 1000, 800); err != nil {
+		return nil, "", errf(http.StatusInternalServerError, ErrCodeInternal, "rendering SVG: %v", err)
+	}
+	return buf.Bytes(), "image/svg+xml", nil
+}
+
+func (s *Server) handleClusterAdvert(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	var req advertRequest
+	if aerr := v1Body(r, &req); aerr != nil {
+		return nil, nil, false, aerr
+	}
+	if req.Text == "" && len(req.Domains) == 0 {
+		return nil, nil, false, errParam("text", "provide text or domains")
+	}
+	if req.K <= 0 {
+		req.K = DefaultLimit
+	}
+	if req.K > MaxLimit {
+		req.K = MaxLimit
+	}
+	out, degraded, aerr := s.clusterAdvert(v, req)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	return out, &Meta{Page: &Page{Limit: req.K, Total: s.cluster.Status().Bloggers, Count: len(out)}}, degraded, nil
+}
+
+func (s *Server) handleClusterProfile(v *cluster.View, r *http.Request) (any, *Meta, bool, *apiError) {
+	var req profileRequest
+	if aerr := v1Body(r, &req); aerr != nil {
+		return nil, nil, false, aerr
+	}
+	if req.Text == "" {
+		return nil, nil, false, errParam("text", "provide profile text")
+	}
+	if req.K <= 0 {
+		req.K = DefaultLimit
+	}
+	if req.K > MaxLimit {
+		req.K = MaxLimit
+	}
+	out, degraded, aerr := s.clusterProfile(v, req)
+	if aerr != nil {
+		return nil, nil, false, aerr
+	}
+	return out, &Meta{Page: &Page{Limit: req.K, Total: s.cluster.Status().Bloggers, Count: len(out)}}, degraded, nil
+}
+
+// --------------------------------------------------- POST /api/v1/query
+
+// clusterQueryETag is queryETag over the seq vector: with one shard the
+// dotted vector is the bare seq, so the validator is byte-identical to
+// the single-engine one.
+func clusterQueryETag(v *cluster.View, key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf(`"mass-seq-%s-q%016x"`, v.SeqKey(), h.Sum64())
+}
+
+// handleClusterQuery is POST /api/v1/query for any cluster-backed server
+// (single- or multi-shard): the whole request is answered from one pinned
+// view, the validator encodes (seq vector, normalized body), and the
+// execution goes through the coordinator — a zero-copy pass-through to
+// the shard's memoized executor at one shard, routed or scattered and
+// merged at several.
+func (s *Server) handleClusterQuery(w http.ResponseWriter, r *http.Request) {
+	v := s.cluster.View()
+	data, aerr := readBody(r)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	q, err := query.Decode(data)
+	if err != nil {
+		writeAPIError(w, errf(http.StatusBadRequest, ErrCodeInvalidQuery, "%v", err))
+		return
+	}
+	if q.Limit > MaxLimit {
+		q.Limit = MaxLimit
+	}
+	key, err := q.Key()
+	if err != nil {
+		writeAPIError(w, errf(http.StatusBadRequest, ErrCodeInvalidQuery, "%v", err))
+		return
+	}
+	etag := clusterQueryETag(v, key)
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	qr, degraded, err := s.cluster.Query(v, q)
+	if err != nil {
+		writeAPIError(w, errf(http.StatusBadRequest, ErrCodeInvalidQuery, "%v", err))
+		return
+	}
+	meta := &Meta{
+		Seq:      v.MaxSeq(),
+		Degraded: degraded,
+		Page: &Page{
+			Limit:  q.Limit,
+			Offset: q.Offset,
+			Total:  qr.Total,
+			Count:  len(qr.Rows),
+		},
+	}
+	if s.sharded() {
+		meta.Seqs = v.Seqs()
+	}
+	writeEnvelope(w, http.StatusOK, Envelope{Data: qr, Meta: meta})
+}

@@ -1,0 +1,357 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mass/internal/blog"
+	"mass/internal/cluster"
+	"mass/internal/core"
+	"mass/internal/lexicon"
+	"mass/internal/synth"
+)
+
+func quietEngineOpts() core.EngineOptions {
+	return core.EngineOptions{FlushEvery: 1 << 20, FlushInterval: time.Hour}
+}
+
+// clusterServer boots an HTTP server over an in-process cluster.
+func clusterServer(t *testing.T, c *blog.Corpus, opts cluster.Options) (*httptest.Server, *cluster.Cluster) {
+	t.Helper()
+	if opts.Engine.FlushEvery == 0 {
+		opts.Engine = quietEngineOpts()
+	}
+	cl, err := cluster.New(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	ts := httptest.NewServer(NewCluster(cl))
+	t.Cleanup(ts.Close)
+	return ts, cl
+}
+
+// fetch performs one request and returns status, headers and the raw body.
+func fetch(t *testing.T, method, url, body string, hdr ...string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// TestClusterSingleShardByteIdentity: satellite 1 — a 1-shard cluster
+// behind the API must be indistinguishable on the wire from the plain
+// engine server: same bodies, same ETags, same status codes, across the
+// v1 surface and the legacy aliases.
+func TestClusterSingleShardByteIdentity(t *testing.T) {
+	e, err := core.NewEngine(blog.Figure1Corpus(), quietEngineOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	single := httptest.NewServer(NewEngine(e))
+	t.Cleanup(single.Close)
+
+	shardedTS, cl := clusterServer(t, blog.Figure1Corpus(), cluster.Options{Shards: 1})
+
+	type probe struct {
+		method, path, body string
+	}
+	probes := []probe{
+		{"GET", "/api/v1", ""},
+		{"GET", "/api/v1/stats", ""},
+		{"GET", "/api/v1/bloggers/top", ""},
+		{"GET", "/api/v1/bloggers/top?limit=3&offset=1", ""},
+		{"GET", "/api/v1/bloggers/Amery", ""},
+		{"GET", "/api/v1/bloggers/Amery/network", ""},
+		{"GET", "/api/v1/bloggers/Amery/network.svg", ""},
+		{"GET", "/api/v1/domains", ""},
+		{"GET", "/api/v1/domains/" + lexicon.Economics + "/top", ""},
+		{"GET", "/api/v1/trends", ""},
+		{"POST", "/api/v1/query", `{"entity":"bloggers","limit":5}`},
+		{"POST", "/api/v1/query", `{"entity":"posts","orderBy":[{"field":"posted","desc":true}],"limit":10}`},
+		{"POST", "/api/v1/advert", `{"text":"the stock market and monetary policy","k":3}`},
+		{"POST", "/api/v1/profile", `{"text":"basketball playoffs and sneakers","k":3}`},
+		{"GET", "/api/stats", ""},
+		{"GET", "/api/top?k=5", ""},
+		{"GET", "/api/domains", ""},
+		{"GET", "/api/domain/" + lexicon.Economics + "?k=3", ""},
+		{"GET", "/api/blogger/Amery", ""},
+		{"GET", "/api/network/Amery", ""},
+		{"GET", "/api/trends", ""},
+		{"POST", "/api/advert", `{"text":"the stock market","k":2}`},
+	}
+	for _, p := range probes {
+		sc, sh, sb := fetch(t, p.method, single.URL+p.path, p.body)
+		cc, ch, cb := fetch(t, p.method, shardedTS.URL+p.path, p.body)
+		if sc != cc {
+			t.Errorf("%s %s: status %d (single) != %d (cluster)", p.method, p.path, sc, cc)
+			continue
+		}
+		if !bytes.Equal(sb, cb) {
+			t.Errorf("%s %s: bodies differ\nsingle:  %s\ncluster: %s", p.method, p.path, sb, cb)
+		}
+		if se, ce := sh.Get("ETag"), ch.Get("ETag"); se != ce {
+			t.Errorf("%s %s: ETag %q (single) != %q (cluster)", p.method, p.path, se, ce)
+		}
+	}
+
+	// Conditional GET parity: the 1-shard vector ETag collapses to the
+	// engine format, so a validator from either server 304s on both.
+	_, hdr, _ := fetch(t, "GET", single.URL+"/api/v1/stats", "")
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on /api/v1/stats")
+	}
+	if code, _, _ := fetch(t, "GET", shardedTS.URL+"/api/v1/stats", "", "If-None-Match", etag); code != http.StatusNotModified {
+		t.Fatalf("cluster conditional GET with engine ETag: status %d, want 304", code)
+	}
+
+	// Ingest ack parity, then post-refresh read parity.
+	post := `{"id":"live1","author":"Zoe","title":"hi","body":"a long report on basketball playoffs and sneakers"}`
+	sc, _, sb := fetch(t, "POST", single.URL+"/api/v1/posts", post)
+	cc, _, cb := fetch(t, "POST", shardedTS.URL+"/api/v1/posts", post)
+	if sc != cc || !bytes.Equal(sb, cb) {
+		t.Fatalf("ingest ack differs: %d %s vs %d %s", sc, sb, cc, cb)
+	}
+	if err := e.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, _, sb = fetch(t, "GET", single.URL+"/api/v1/stats", "")
+	_, _, cb = fetch(t, "GET", shardedTS.URL+"/api/v1/stats", "")
+	if !bytes.Equal(sb, cb) {
+		t.Fatalf("post-refresh stats differ:\nsingle:  %s\ncluster: %s", sb, cb)
+	}
+}
+
+// wireEnvelope decodes just enough of the v1 envelope for assertions.
+type wireEnvelope struct {
+	Data json.RawMessage `json:"data"`
+	Meta *struct {
+		Seq      uint64   `json:"seq"`
+		Seqs     []uint64 `json:"seqs"`
+		Degraded bool     `json:"degraded"`
+		Page     *Page    `json:"page"`
+	} `json:"meta"`
+	Error *Error `json:"error"`
+}
+
+func decodeEnvelope(t *testing.T, data []byte) wireEnvelope {
+	t.Helper()
+	var env wireEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("decoding envelope: %v\n%s", err, data)
+	}
+	return env
+}
+
+func shardedFixture(t *testing.T, opts cluster.Options) (*httptest.Server, *cluster.Cluster, *blog.Corpus) {
+	t.Helper()
+	c, _, err := synth.Generate(synth.Config{Seed: 11, Bloggers: 40, Posts: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, cl := clusterServer(t, c, opts)
+	return ts, cl, c
+}
+
+// TestClusterShardedEnvelope: on a 3-shard cluster the envelope grows the
+// seq vector, the ETag becomes the dotted vector, and the engine endpoint
+// reports cluster counters.
+func TestClusterShardedEnvelope(t *testing.T) {
+	ts, cl, c := shardedFixture(t, cluster.Options{Shards: 3})
+
+	code, hdr, body := fetch(t, "GET", ts.URL+"/api/v1/bloggers/top?limit=10", "")
+	if code != http.StatusOK {
+		t.Fatalf("bloggers/top status %d: %s", code, body)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Meta == nil || len(env.Meta.Seqs) != 3 {
+		t.Fatalf("meta.seqs = %+v, want vector of 3", env.Meta)
+	}
+	etag := hdr.Get("ETag")
+	if etag != `"mass-seq-1.1.1"` {
+		t.Fatalf("vector ETag = %q, want \"mass-seq-1.1.1\"", etag)
+	}
+	if code, _, _ = fetch(t, "GET", ts.URL+"/api/v1/bloggers/top?limit=10", "", "If-None-Match", etag); code != http.StatusNotModified {
+		t.Fatalf("conditional GET with vector ETag: status %d, want 304", code)
+	}
+
+	// Engine status carries the cluster extension fields.
+	_, _, body = fetch(t, "GET", ts.URL+"/api/v1/engine", "")
+	var engEnv struct {
+		Data struct {
+			Live           bool     `json:"live"`
+			Shards         int      `json:"shards"`
+			ShardSeqs      []uint64 `json:"shardSeqs"`
+			ScatterQueries uint64   `json:"scatterQueries"`
+			BoundaryEdges  int      `json:"boundaryEdges"`
+			MergeFallbacks uint64   `json:"mergeFallbacks"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(body, &engEnv); err != nil {
+		t.Fatalf("engine envelope: %v\n%s", err, body)
+	}
+	d := engEnv.Data
+	if !d.Live || d.Shards != 3 || len(d.ShardSeqs) != 3 {
+		t.Fatalf("engine status = %+v", d)
+	}
+	if d.ScatterQueries == 0 {
+		t.Fatal("scatterQueries did not count the bloggers/top read")
+	}
+	if d.BoundaryEdges == 0 {
+		t.Fatal("synth corpus produced no boundary edges across 3 shards")
+	}
+
+	// A scan query scatters; an author-pinned posts query routes.
+	code, hdr, body = fetch(t, "POST", ts.URL+"/api/v1/query",
+		`{"entity":"posts","orderBy":[{"field":"posted","desc":true}],"limit":10}`)
+	if code != http.StatusOK {
+		t.Fatalf("query status %d: %s", code, body)
+	}
+	env = decodeEnvelope(t, body)
+	if env.Meta == nil || len(env.Meta.Seqs) != 3 {
+		t.Fatalf("query meta.seqs = %+v", env.Meta)
+	}
+	var res struct {
+		Plan string `json:"plan"`
+	}
+	if err := json.Unmarshal(env.Data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "scatter/") {
+		t.Fatalf("scan plan = %q, want scatter/ prefix", res.Plan)
+	}
+	if qtag := hdr.Get("ETag"); !strings.HasPrefix(qtag, `"mass-seq-1.1.1-q`) {
+		t.Fatalf("query ETag = %q, want vector+hash form", qtag)
+	}
+	if code, _, _ = fetch(t, "POST", ts.URL+"/api/v1/query",
+		`{"entity":"posts","orderBy":[{"field":"posted","desc":true}],"limit":10}`,
+		"If-None-Match", hdr.Get("ETag")); code != http.StatusNotModified {
+		t.Fatalf("conditional query: status %d, want 304", code)
+	}
+
+	var author string
+	for _, p := range c.Posts {
+		author = string(p.Author)
+		break
+	}
+	code, _, body = fetch(t, "POST", ts.URL+"/api/v1/query",
+		`{"entity":"posts","where":{"field":"author","op":"eq","value":"`+author+`"}}`)
+	if code != http.StatusOK {
+		t.Fatalf("routed query status %d: %s", code, body)
+	}
+	env = decodeEnvelope(t, body)
+	if err := json.Unmarshal(env.Data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "route/") {
+		t.Fatalf("author-eq plan = %q, want route/ prefix", res.Plan)
+	}
+
+	// Blogger detail resolves through the owner shard.
+	if code, _, body = fetch(t, "GET", ts.URL+"/api/v1/bloggers/"+author, ""); code != http.StatusOK {
+		t.Fatalf("blogger detail status %d: %s", code, body)
+	}
+
+	// Ingest routes by owner; only the owner shard's seq advances.
+	code, _, body = fetch(t, "POST", ts.URL+"/api/v1/posts",
+		`{"id":"cl-live-1","author":"`+author+`","title":"fresh","body":"a fresh post about economic policy and markets"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("cluster ingest status %d: %s", code, body)
+	}
+	if err := cl.Shard(cl.Owner(blog.BloggerID(author))).Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, hdr, _ = fetch(t, "GET", ts.URL+"/api/v1/bloggers/top?limit=10", "")
+	after := hdr.Get("ETag")
+	if after == etag || !strings.HasPrefix(after, `"mass-seq-`) || !strings.Contains(after, "2") {
+		t.Fatalf("post-ingest vector ETag = %q, want one advanced component", after)
+	}
+}
+
+// TestClusterUnsupportedSurfaces: trends and subscriptions declare
+// themselves out on a sharded deployment with 501 unsupported, on both
+// the v1 routes and the legacy aliases.
+func TestClusterUnsupportedSurfaces(t *testing.T) {
+	ts, _, _ := shardedFixture(t, cluster.Options{Shards: 3})
+
+	code, _, body := fetch(t, "GET", ts.URL+"/api/v1/trends", "")
+	if code != http.StatusNotImplemented {
+		t.Fatalf("v1 trends status %d: %s", code, body)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Error == nil || env.Error.Code != ErrCodeUnsupported {
+		t.Fatalf("v1 trends error = %+v, want code %q", env.Error, ErrCodeUnsupported)
+	}
+	if code, _, _ = fetch(t, "GET", ts.URL+"/api/trends", ""); code != http.StatusNotImplemented {
+		t.Fatalf("legacy trends status %d, want 501", code)
+	}
+
+	code, _, body = fetch(t, "POST", ts.URL+"/api/v1/subscriptions", `{"entity":"bloggers","limit":5}`)
+	if code != http.StatusNotImplemented {
+		t.Fatalf("subscriptions status %d: %s", code, body)
+	}
+	env = decodeEnvelope(t, body)
+	if env.Error == nil || env.Error.Code != ErrCodeUnsupported {
+		t.Fatalf("subscriptions error = %+v, want code %q", env.Error, ErrCodeUnsupported)
+	}
+}
+
+// TestClusterDegradedEnvelope: a shard blowing its scatter deadline
+// produces a 200 partial result flagged meta.degraded, not an error and
+// not a hang.
+func TestClusterDegradedEnvelope(t *testing.T) {
+	ts, cl, _ := shardedFixture(t, cluster.Options{Shards: 3, ShardTimeout: 75 * time.Millisecond})
+
+	cl.SetSlowShardHook(func(shard int) {
+		if shard == 1 {
+			time.Sleep(400 * time.Millisecond)
+		}
+	})
+	defer cl.SetSlowShardHook(nil)
+
+	start := time.Now()
+	code, _, body := fetch(t, "GET", ts.URL+"/api/v1/bloggers/top?limit=10", "")
+	if code != http.StatusOK {
+		t.Fatalf("degraded read status %d: %s", code, body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("degraded read took %v, deadline not enforced", elapsed)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Meta == nil || !env.Meta.Degraded {
+		t.Fatalf("meta = %+v, want degraded=true", env.Meta)
+	}
+}

@@ -46,6 +46,9 @@ const (
 	ErrCodeNoData = "no_data"
 	// ErrCodePayloadTooLarge: the request body exceeds MaxBodyBytes.
 	ErrCodePayloadTooLarge = "payload_too_large"
+	// ErrCodeUnsupported: the endpoint exists but is not available in this
+	// deployment shape (e.g. trends or subscriptions on a sharded cluster).
+	ErrCodeUnsupported = "unsupported"
 	// ErrCodeInternal: a handler panicked or a response failed to encode.
 	ErrCodeInternal = "internal"
 )
@@ -70,8 +73,16 @@ type Envelope struct {
 type Meta struct {
 	// Seq is the analysis generation (core.Snapshot.Seq) that answered the
 	// read; it doubles as the ETag, so a client can poll cheaply with
-	// If-None-Match until Seq moves.
+	// If-None-Match until Seq moves. On a sharded cluster it is the highest
+	// shard generation and Seqs carries the full vector.
 	Seq uint64 `json:"seq"`
+	// Seqs is the per-shard generation vector on sharded deployments: one
+	// entry per shard, in shard order. The dot-joined vector is the ETag.
+	// Absent on single-engine (and single-shard) servers.
+	Seqs []uint64 `json:"seqs,omitempty"`
+	// Degraded marks a partial result: at least one shard missed its
+	// scatter deadline and the response covers the shards that answered.
+	Degraded bool `json:"degraded,omitempty"`
 	// Page is set on paginated list/ranking responses.
 	Page *Page `json:"page,omitempty"`
 }

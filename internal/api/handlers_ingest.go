@@ -174,10 +174,10 @@ func (s *Server) ingest(dec decodeFunc, r *http.Request, strict bool) (ingestRes
 	if aerr != nil {
 		return ingestResponse{}, aerr
 	}
-	if err := s.engine.AddBatch(batch); err != nil {
+	if err := s.addBatch(batch); err != nil {
 		return ingestResponse{}, errf(http.StatusBadRequest, ErrCodeValidation, "%v", err)
 	}
-	st := s.engine.Status()
+	st := s.liveStatus()
 	return ingestResponse{Accepted: accepted, Pending: st.Pending, Seq: st.Seq}, nil
 }
 

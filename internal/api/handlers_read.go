@@ -428,6 +428,10 @@ func (s *Server) engineStatus() engineResponse {
 }
 
 func (s *Server) handleV1Engine(r *http.Request) (any, uint64, *apiError) {
+	if s.sharded() {
+		st := s.clusterEngineStatus()
+		return st, st.Seq, nil
+	}
 	st := s.engineStatus()
 	return st, st.Seq, nil
 }
@@ -440,11 +444,25 @@ func (s *Server) handleV1Engine(r *http.Request) (any, uint64, *apiError) {
 // v1, so data cannot drift between the surfaces.
 
 func (s *Server) handleLegacyStats(w http.ResponseWriter, r *http.Request) {
+	if s.sharded() {
+		writeBareJSON(w, s.cluster.Stats(s.cluster.View()))
+		return
+	}
 	writeBareJSON(w, s.current().Stats())
 }
 
 func (s *Server) handleLegacyTop(w http.ResponseWriter, r *http.Request) {
-	out, _, aerr := fetchTop(s.current(), intParam(r, "k", 3), 0)
+	k := intParam(r, "k", 3)
+	if s.sharded() {
+		out, _, _, aerr := s.clusterTop(s.cluster.View(), k, 0)
+		if aerr != nil {
+			http.Error(w, aerr.Message, aerr.status)
+			return
+		}
+		writeBareJSON(w, out)
+		return
+	}
+	out, _, aerr := fetchTop(s.current(), k, 0)
 	if aerr != nil {
 		http.Error(w, aerr.Message, aerr.status)
 		return
@@ -457,7 +475,17 @@ func (s *Server) handleLegacyDomains(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLegacyDomain(w http.ResponseWriter, r *http.Request) {
-	out, _, aerr := fetchDomainTop(s.current(), r.PathValue("name"), intParam(r, "k", 3), 0)
+	k := intParam(r, "k", 3)
+	if s.sharded() {
+		out, _, _, aerr := s.clusterDomainTop(s.cluster.View(), r.PathValue("name"), k, 0)
+		if aerr != nil {
+			http.Error(w, aerr.Message, aerr.status)
+			return
+		}
+		writeBareJSON(w, out)
+		return
+	}
+	out, _, aerr := fetchDomainTop(s.current(), r.PathValue("name"), k, 0)
 	if aerr != nil {
 		http.Error(w, aerr.Message, aerr.status)
 		return
@@ -470,6 +498,15 @@ func (s *Server) handleLegacyDomainMissing(w http.ResponseWriter, r *http.Reques
 }
 
 func (s *Server) handleLegacyBlogger(w http.ResponseWriter, r *http.Request) {
+	if s.sharded() {
+		detail, aerr := s.clusterBlogger(s.cluster.View(), blog.BloggerID(r.PathValue("id")))
+		if aerr != nil {
+			http.Error(w, fmt.Sprintf("unknown blogger %q", r.PathValue("id")), aerr.status)
+			return
+		}
+		writeBareJSON(w, detail)
+		return
+	}
 	detail, aerr := fetchBlogger(s.current(), blog.BloggerID(r.PathValue("id")))
 	if aerr != nil {
 		http.Error(w, fmt.Sprintf("unknown blogger %q", r.PathValue("id")), aerr.status)
@@ -488,6 +525,15 @@ func (s *Server) handleLegacyAdvert(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Text == "" && len(req.Domains) == 0 {
 		http.Error(w, "provide text or domains", http.StatusBadRequest)
+		return
+	}
+	if s.sharded() {
+		out, _, aerr := s.clusterAdvert(s.cluster.View(), req)
+		if aerr != nil {
+			http.Error(w, aerr.Message, aerr.status)
+			return
+		}
+		writeBareJSON(w, out)
 		return
 	}
 	out, aerr := fetchAdvert(s.current(), req)
@@ -510,6 +556,15 @@ func (s *Server) handleLegacyProfile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "provide profile text", http.StatusBadRequest)
 		return
 	}
+	if s.sharded() {
+		out, _, aerr := s.clusterProfile(s.cluster.View(), req)
+		if aerr != nil {
+			http.Error(w, aerr.Message, aerr.status)
+			return
+		}
+		writeBareJSON(w, out)
+		return
+	}
 	out, aerr := fetchProfile(s.current(), req)
 	if aerr != nil {
 		http.Error(w, aerr.Message, aerr.status)
@@ -525,6 +580,9 @@ func (s *Server) handleLegacyNetwork(w http.ResponseWriter, r *http.Request) {
 		svg, rest = true, id
 	}
 	snap := s.current()
+	if s.sharded() {
+		snap = s.cluster.View().Snaps[s.cluster.Owner(blog.BloggerID(rest))]
+	}
 	net, err := snap.Network(blog.BloggerID(rest), intParam(r, "radius", 2), 1)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -544,6 +602,10 @@ func (s *Server) handleLegacyNetwork(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLegacyTrends(w http.ResponseWriter, r *http.Request) {
+	if s.sharded() {
+		http.Error(w, "trends are not available on a sharded cluster", http.StatusNotImplemented)
+		return
+	}
 	rep, err := s.trendReport(s.current(), intParam(r, "buckets", 8), intParam(r, "emerging", 5))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -553,5 +615,9 @@ func (s *Server) handleLegacyTrends(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLegacyEngine(w http.ResponseWriter, r *http.Request) {
+	if s.sharded() {
+		writeBareJSON(w, s.clusterEngineStatus())
+		return
+	}
 	writeBareJSON(w, s.engineStatus())
 }

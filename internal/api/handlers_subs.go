@@ -40,6 +40,12 @@ func (s *Server) hub() (*subs.Hub, *apiError) {
 		return nil, errf(http.StatusServiceUnavailable, ErrCodeReadOnly,
 			"subscriptions require a live ingestion engine; this server is read-only")
 	}
+	if s.sharded() {
+		// Incremental evaluation is per shard; merging diff streams across
+		// shards is future work, so the whole surface declares itself out.
+		return nil, errf(http.StatusNotImplemented, ErrCodeUnsupported,
+			"subscriptions are not available on a sharded cluster; deploy -shards 1 for standing queries")
+	}
 	return s.engine.Subscriptions(), nil
 }
 

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRingAssignment checks the three ring invariants on arbitrary inputs:
+// deterministic assignment (two rings built with the same parameters agree
+// on every key), full coverage (every key lands on a valid shard), and
+// stability under growth (adding shard N moves keys only TO shard N — no
+// key shuffles between surviving shards).
+func FuzzRingAssignment(f *testing.F) {
+	f.Add(uint8(4), uint8(64), "b00042")
+	f.Add(uint8(1), uint8(1), "")
+	f.Add(uint8(8), uint8(16), "alice")
+	f.Fuzz(func(t *testing.T, shards, vnodes uint8, key string) {
+		ns := int(shards%16) + 1
+		nv := int(vnodes%128) + 1
+
+		r1 := NewRing(ns, nv)
+		r2 := NewRing(ns, nv)
+		owner := r1.Owner(key)
+		if owner < 0 || owner >= ns {
+			t.Fatalf("Owner(%q) = %d out of range [0,%d)", key, owner, ns)
+		}
+		if got := r2.Owner(key); got != owner {
+			t.Fatalf("non-deterministic assignment: %d vs %d for %q", owner, got, key)
+		}
+
+		grown := NewRing(ns+1, nv)
+		if got := grown.Owner(key); got != owner && got != ns {
+			t.Fatalf("growing %d->%d shards moved %q from shard %d to surviving shard %d",
+				ns, ns+1, key, owner, got)
+		}
+	})
+}
+
+// TestRingMovedFraction pins the consistent-hashing payoff quantitatively:
+// growing 4 -> 5 shards should move roughly 1/5 of the keyspace (all of it
+// to the new shard), not the ~4/5 a mod-N scheme would reshuffle.
+func TestRingMovedFraction(t *testing.T) {
+	const keys = 20000
+	r4 := NewRing(4, 64)
+	r5 := NewRing(5, 64)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("b%05d", i)
+		o4, o5 := r4.Owner(k), r5.Owner(k)
+		if o4 != o5 {
+			if o5 != 4 {
+				t.Fatalf("key %q moved to surviving shard %d (was %d)", k, o5, o4)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("moved fraction %.3f outside [0.10, 0.35]; want ~0.20", frac)
+	}
+	t.Logf("4->5 shards moved %.1f%% of %d keys (ideal 20%%)", 100*frac, keys)
+}
+
+// TestRingBalance guards against gross imbalance: with 64 vnodes each of 8
+// shards should own a reasonable slice of a large uniform keyspace.
+func TestRingBalance(t *testing.T) {
+	const keys = 40000
+	r := NewRing(8, 64)
+	counts := make([]int, 8)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("b%05d", i))]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.03 || frac > 0.40 {
+			t.Fatalf("shard %d owns %.1f%% of keys; want within [3%%, 40%%] of ideal 12.5%%", s, 100*frac)
+		}
+	}
+	t.Logf("8-shard ownership: %v", counts)
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 64)
+	for _, k := range []string{"", "a", "b00001", "anything"} {
+		if got := r.Owner(k); got != 0 {
+			t.Fatalf("single-shard ring routed %q to %d", k, got)
+		}
+	}
+	if NewRing(0, 0).Shards() != 1 {
+		t.Fatal("shards<1 should normalize to 1")
+	}
+}

@@ -378,6 +378,23 @@ func ensureBlogger(c *blog.Corpus, id blog.BloggerID) error {
 	return c.AddBlogger(&blog.Blogger{ID: id})
 }
 
+// EnsureBlogger admits id as a stub blogger when unknown and is a no-op
+// when the blogger already exists. The cluster router uses it to pre-admit
+// the endpoints of cross-shard links on their owner shards before the edge
+// itself goes to the boundary set.
+func (e *Engine) EnsureBlogger(id blog.BloggerID) error {
+	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {
+		if _, ok := c.Bloggers[id]; ok {
+			return 0, nil
+		}
+		if err := ensureBlogger(c, id); err != nil {
+			return 0, err
+		}
+		w.Blogger(&blog.Blogger{ID: id})
+		return 1, nil
+	})
+}
+
 // AddBlogger inserts or enriches a blogger profile.
 func (e *Engine) AddBlogger(b *blog.Blogger) error {
 	return e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {

@@ -372,3 +372,37 @@ func TestScalabilityExperiment(t *testing.T) {
 		t.Fatal("Format output incomplete")
 	}
 }
+
+func TestShardingExperiment(t *testing.T) {
+	r, err := ExperimentSharding(testConfig(), []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("want 2 shard points, got %d", len(r.Points))
+	}
+	if r.Points[0].BoundaryEdges != 0 {
+		t.Fatal("one shard cannot have boundary edges")
+	}
+	if r.Points[1].BoundaryEdges == 0 {
+		t.Fatal("3-way split of a linked corpus must cross shards")
+	}
+	// The sharded global solve must agree with the single-engine solve to
+	// solver tolerance (the property test in internal/cluster pins 1e-12
+	// at the default epsilon; the experiment just sanity-checks the wire).
+	if r.Points[1].PageRankDiff > 1e-9 {
+		t.Fatalf("sharded PageRank drifted %g from the single-engine solve", r.Points[1].PageRankDiff)
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	if !strings.Contains(buf.String(), "boundary") {
+		t.Fatal("Format output incomplete")
+	}
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pagerank_maxdiff") {
+		t.Fatal("CSV output incomplete")
+	}
+}

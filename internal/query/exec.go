@@ -604,7 +604,6 @@ func execDomains(v *view, n *Query) (*Result, error) {
 	nd := len(d.Domains)
 	counts := make([]float64, nd)
 	sums := make([]float64, nd)
-	means := make([]float64, nd)
 	for bi := 0; bi < len(d.Bloggers); bi++ {
 		row := d.DomainScores[bi*nd : (bi+1)*nd]
 		for di, s := range row {
@@ -614,6 +613,18 @@ func execDomains(v *view, n *Query) (*Result, error) {
 			}
 		}
 	}
+	return domainsResult(d.Domains, counts, sums, n)
+}
+
+// domainsResult is the tail of the domains executor — means from
+// counts/sums, predicate/order/select compiled against the per-domain
+// arrays, filter, sort, paginate. It is shared with the cluster
+// coordinator, which feeds it counts/sums merged across shards (count and
+// sum are associative; mean never is, so it is always derived here, after
+// the merge).
+func domainsResult(names []string, counts, sums []float64, n *Query) (*Result, error) {
+	nd := len(names)
+	means := make([]float64, nd)
 	for di := range means {
 		if counts[di] > 0 {
 			means[di] = sums[di] / counts[di]
@@ -649,15 +660,15 @@ func execDomains(v *view, n *Query) (*Result, error) {
 		if c := compareKeys(keys, a, b); c != 0 {
 			return c
 		}
-		return strings.Compare(d.Domains[a], d.Domains[b])
+		return strings.Compare(names[a], names[b])
 	})
 	idx = window(idx, n.Offset, n.Limit)
 	rows := make([]Row, 0, len(idx))
 	primary := keys[0].get
 	for _, di := range idx {
-		rows = append(rows, Row{ID: d.Domains[di], Score: primary(di), Fields: pr.fields(di)})
+		rows = append(rows, Row{ID: names[di], Score: primary(di), Fields: pr.fields(di)})
 	}
-	return &Result{Entity: n.Entity, Rows: rows, Total: total, Plan: "domains"}, nil
+	return &Result{Entity: EntityDomains, Rows: rows, Total: total, Plan: "domains"}, nil
 }
 
 // domainRows orders per-domain values descending (name ascending on

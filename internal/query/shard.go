@@ -1,0 +1,362 @@
+package query
+
+// Shard-side execution: the pieces of the executor a scatter-gather
+// coordinator needs to run one query as per-shard sub-plans and merge the
+// results exactly. Scans return their top rows with the ORDER BY key
+// values attached (ShardRow.Keys) so the merge can compare rows across
+// shards without re-resolving facets; per-domain aggregations return raw
+// (count, sum) partials (AggSlab) because count and sum merge
+// associatively while mean does not — mean is always derived after the
+// merge.
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+import (
+	"mass/internal/blog"
+	"mass/internal/influence"
+)
+
+// ShardRow is one shard-local result row plus the value of every ORDER BY
+// key at that row, in the normalized query's key order.
+type ShardRow struct {
+	Row
+	Keys []float64 `json:"keys"`
+}
+
+// ShardResult is the shard-local portion of a scan: the top
+// (Offset + Limit) matching rows already in merge order — the query's keys
+// with their desc flags, ties by ascending ID — plus the shard's total
+// match count. Offset windowing is deliberately NOT applied; every shard
+// must contribute its full top-(Offset+Limit) prefix or the merged window
+// could miss rows.
+type ShardResult struct {
+	Entity Entity     `json:"entity"`
+	Rows   []ShardRow `json:"rows"`
+	Total  int        `json:"total"`
+	Plan   string     `json:"plan"`
+}
+
+// ExecuteShard runs the scan portion of q against one shard's snapshot.
+// own, when non-nil, restricts rows and totals to entities the shard owns:
+// shards admit foreign bloggers as link stubs, and per-shard analysis
+// assigns those stubs real scores, so an unfiltered broadcast would return
+// the same blogger ID from several shards. Posts never need the filter (a
+// post lives only on its author's owner shard), so coordinators pass nil
+// there. Domains and aggregate queries have no per-row scan; they go
+// through ExecuteDomainsSlab / ExecuteAggregateSlab instead.
+func ExecuteShard(c *blog.Corpus, res *influence.Result, q *Query, own func(string) bool) (*ShardResult, error) {
+	if c == nil || res == nil {
+		return nil, fmt.Errorf("query: corpus and result required")
+	}
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if n.Entity == EntityDomains || n.Aggregate != nil {
+		return nil, fmt.Errorf("query: %s/aggregate queries merge as slabs, not rows", n.Entity)
+	}
+	v := &view{c: c, res: res, d: res.Dense(), entity: n.Entity}
+	match, err := compilePredicate(v, n.Where)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := compileOrders(v, n.OrderBy)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := compileProjection(v, n.Select)
+	if err != nil {
+		return nil, err
+	}
+	keep := match
+	if own != nil {
+		keep = func(i int) bool {
+			if !own(v.id(i)) {
+				return false
+			}
+			return match == nil || match(i)
+		}
+	}
+	N := v.count()
+	k := n.Offset + n.Limit
+	if k > N {
+		k = N
+	}
+	less := func(a, b int) bool { return compareIdx(keys, a, b) < 0 }
+	kept, total := selectTop(N, k, keep, less)
+	slices.SortFunc(kept, func(a, b int) int { return compareIdx(keys, a, b) })
+	rows := make([]ShardRow, 0, len(kept))
+	primary := keys[0].get
+	for _, i := range kept {
+		kv := make([]float64, len(keys))
+		for j := range keys {
+			kv[j] = keys[j].get(i)
+		}
+		rows = append(rows, ShardRow{
+			Row:  Row{ID: v.id(i), Score: primary(i), Fields: pr.fields(i)},
+			Keys: kv,
+		})
+	}
+	return &ShardResult{Entity: n.Entity, Rows: rows, Total: total, Plan: "scan/" + string(n.Entity)}, nil
+}
+
+// compareShardRows ranks two rows from (possibly different) shards under
+// the normalized query's key order: key values with their desc flags,
+// ties by ascending ID — the same total order compareIdx yields within one
+// shard, because dense entity lists are ID-sorted.
+func compareShardRows(a, b *ShardRow, desc []bool) int {
+	for j, d := range desc {
+		va, vb := a.Keys[j], b.Keys[j]
+		if va == vb {
+			continue
+		}
+		if (va > vb) == d {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.ID, b.ID)
+}
+
+// MergeShardRows k-way-merges per-shard ordered row lists into the global
+// [Offset, Offset+Limit) window. Nil parts (shards that missed their
+// deadline) are skipped — the merge degrades to the shards that answered.
+// Totals sum across the answering shards.
+func MergeShardRows(parts []*ShardResult, q *Query) (*Result, error) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	desc := make([]bool, len(n.OrderBy))
+	for i, o := range n.OrderBy {
+		desc[i] = o.Desc
+	}
+	live := parts[:0:0]
+	total := 0
+	plan := "scan/" + string(n.Entity)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		live = append(live, p)
+		total += p.Total
+		plan = p.Plan
+	}
+	cursors := make([]int, len(live))
+	k := n.Offset + n.Limit
+	merged := make([]Row, 0, min(k, total))
+	for len(merged) < k {
+		best := -1
+		for s, p := range live {
+			if cursors[s] >= len(p.Rows) {
+				continue
+			}
+			if best < 0 || compareShardRows(&p.Rows[cursors[s]], &live[best].Rows[cursors[best]], desc) < 0 {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, live[best].Rows[cursors[best]].Row)
+		cursors[best]++
+	}
+	merged = window(merged, n.Offset, n.Limit)
+	return &Result{Entity: n.Entity, Rows: merged, Total: total, Plan: "scatter/" + plan}, nil
+}
+
+// ------------------------------------------------------ aggregate slabs
+
+// AggSlab is one shard's per-domain partial aggregate: the shard's
+// interned domain list with a raw (count, sum) pair per slot. Shards
+// intern only the domains their own posts touch, so slabs from different
+// shards carry different name lists; MergeAggSlabs unions them by name.
+type AggSlab struct {
+	Domains []string  `json:"domains"`
+	Counts  []float64 `json:"counts"`
+	Sums    []float64 `json:"sums"`
+}
+
+// ExecuteAggregateSlab runs the filter-and-accumulate half of an aggregate
+// query on one shard, honoring the same ownership filter as ExecuteShard.
+// The op (count/sum/mean) is NOT applied — the coordinator derives values
+// from the merged counts and sums.
+func ExecuteAggregateSlab(c *blog.Corpus, res *influence.Result, q *Query, own func(string) bool) (*AggSlab, error) {
+	if c == nil || res == nil {
+		return nil, fmt.Errorf("query: corpus and result required")
+	}
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if n.Aggregate == nil {
+		return nil, fmt.Errorf("query: not an aggregate query")
+	}
+	v := &view{c: c, res: res, d: res.Dense(), entity: n.Entity}
+	match, err := compilePredicate(v, n.Where)
+	if err != nil {
+		return nil, err
+	}
+	var fieldGet func(int) float64
+	if n.Aggregate.Field != "" {
+		if fieldGet, err = v.numGetter(Field{Name: n.Aggregate.Field}); err != nil {
+			return nil, err
+		}
+	}
+	d := v.d
+	nd := len(d.Domains)
+	slab := d.DomainScores
+	if v.entity == EntityPosts {
+		slab = d.PostDomains
+	}
+	counts := make([]float64, nd)
+	sums := make([]float64, nd)
+	N := v.count()
+	for i := 0; i < N; i++ {
+		if own != nil && !own(v.id(i)) {
+			continue
+		}
+		if match != nil && !match(i) {
+			continue
+		}
+		var fv float64
+		if fieldGet != nil {
+			fv = fieldGet(i)
+		}
+		row := slab[i*nd : (i+1)*nd]
+		for di, w := range row {
+			if w == 0 {
+				continue
+			}
+			counts[di]++
+			if fieldGet != nil {
+				sums[di] += fv
+			} else {
+				sums[di] += w
+			}
+		}
+	}
+	return &AggSlab{Domains: slices.Clone(d.Domains), Counts: counts, Sums: sums}, nil
+}
+
+// ExecuteDomainsSlab computes one shard's per-domain (count, sum) partials
+// for a domains-entity query: counts and sums of nonzero blogger domain
+// scores, restricted to owned bloggers. Filtering, ordering and the mean
+// derivation all happen after the merge (ExecuteDomainsMerged), because
+// count/sum/mean predicates must see cluster-wide values.
+func ExecuteDomainsSlab(c *blog.Corpus, res *influence.Result, q *Query, own func(string) bool) (*AggSlab, error) {
+	if c == nil || res == nil {
+		return nil, fmt.Errorf("query: corpus and result required")
+	}
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if n.Entity != EntityDomains {
+		return nil, fmt.Errorf("query: entity %s is not domains", n.Entity)
+	}
+	d := res.Dense()
+	nd := len(d.Domains)
+	counts := make([]float64, nd)
+	sums := make([]float64, nd)
+	for bi := 0; bi < len(d.Bloggers); bi++ {
+		if own != nil && !own(string(d.Bloggers[bi])) {
+			continue
+		}
+		row := d.DomainScores[bi*nd : (bi+1)*nd]
+		for di, s := range row {
+			if s != 0 {
+				counts[di]++
+				sums[di] += s
+			}
+		}
+	}
+	return &AggSlab{Domains: slices.Clone(d.Domains), Counts: counts, Sums: sums}, nil
+}
+
+// MergeAggSlabs unions per-shard slabs by domain name (sorted) and sums
+// their partials. Nil slabs (degraded shards) are skipped.
+func MergeAggSlabs(slabs []*AggSlab) (names []string, counts, sums []float64) {
+	idx := make(map[string]int)
+	for _, s := range slabs {
+		if s == nil {
+			continue
+		}
+		for _, name := range s.Domains {
+			if _, ok := idx[name]; !ok {
+				idx[name] = len(names)
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		idx[name] = i
+	}
+	counts = make([]float64, len(names))
+	sums = make([]float64, len(names))
+	for _, s := range slabs {
+		if s == nil {
+			continue
+		}
+		for di, name := range s.Domains {
+			i := idx[name]
+			counts[i] += s.Counts[di]
+			sums[i] += s.Sums[di]
+		}
+	}
+	return names, counts, sums
+}
+
+// ExecuteAggregateMerged finishes an aggregate query from merged partials:
+// apply the op per domain, order values descending (name ascending on
+// ties) and paginate — the same tail as the single-engine aggregate
+// executor.
+func ExecuteAggregateMerged(names []string, counts, sums []float64, q *Query) (*Result, error) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if n.Aggregate == nil {
+		return nil, fmt.Errorf("query: not an aggregate query")
+	}
+	values := make([]float64, len(names))
+	for di := range values {
+		switch n.Aggregate.Op {
+		case AggCount:
+			values[di] = counts[di]
+		case AggSum:
+			values[di] = sums[di]
+		default: // mean
+			if counts[di] > 0 {
+				values[di] = sums[di] / counts[di]
+			}
+		}
+	}
+	rows := domainRows(names, values, n)
+	return &Result{Entity: n.Entity, Rows: rows, Total: len(names), Plan: "scatter/aggregate"}, nil
+}
+
+// ExecuteDomainsMerged finishes a domains-entity query from merged
+// partials via the shared single-engine tail (means, filter, sort,
+// paginate).
+func ExecuteDomainsMerged(names []string, counts, sums []float64, q *Query) (*Result, error) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if n.Entity != EntityDomains {
+		return nil, fmt.Errorf("query: entity %s is not domains", n.Entity)
+	}
+	r, err := domainsResult(names, counts, sums, n)
+	if err != nil {
+		return nil, err
+	}
+	r.Plan = "scatter/" + r.Plan
+	return r, nil
+}
