@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -1253,4 +1254,97 @@ func BenchmarkShardScatterGather(b *testing.B) {
 
 		cl.Close()
 	}
+}
+
+// BenchmarkDegradedScatter measures what a dead shard costs the read path.
+// A 4-shard cluster answers the same influence-ranked scatter query with
+// all shards healthy and again with one shard quarantined (its circuit
+// breaker open, its supervisor wedged mid-recovery). The breaker skips
+// the dead shard outright instead of waiting out the scatter deadline, so
+// the degraded query must stay within ~2x of the all-healthy latency —
+// the acceptance bar for the supervision fast-fail path.
+func BenchmarkDegradedScatter(b *testing.B) {
+	const nodes = 10_000
+	rng := rand.New(rand.NewSource(2010))
+	zipf := rand.NewZipf(rng, 1.3, 8, nodes-1)
+	corpus := blog.NewCorpus()
+	ids := make([]blog.BloggerID, nodes)
+	for i := range ids {
+		ids[i] = blog.BloggerID(fmt.Sprintf("d%05d", i))
+		if err := corpus.AddBlogger(&blog.Blogger{ID: ids[i], Name: string(ids[i])}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		err := corpus.AddPost(&blog.Post{
+			ID:     blog.PostID(fmt.Sprintf("dp%05d", i)),
+			Author: id,
+			Title:  "report",
+			Body:   fmt.Sprintf("w%04d w%04d w%04d report%d", rng.Intn(4000), rng.Intn(4000), rng.Intn(4000), i),
+			Posted: time.Unix(1250000000+int64(i)*60, 0),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for k := 0; k < 60_000; k++ {
+		f, t := rng.Intn(nodes), int(zipf.Uint64())
+		if f != t {
+			_ = corpus.AddLink(ids[f], ids[t]) // duplicate edges are fine here
+		}
+	}
+
+	cl, err := cluster.New(corpus, cluster.Options{
+		Shards:       4,
+		ShardTimeout: 5 * time.Second,
+		// One immediate supervisor pass runs on CrashShard; afterwards the
+		// wedge hook below keeps the victim from rejoining, so the
+		// degraded sub-benchmark measures a stable breaker-open state.
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  20 * time.Millisecond,
+		Engine:        core.EngineOptions{FlushEvery: 1 << 30, FlushInterval: 1 << 40},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	q := query.Bloggers().OrderBy(query.Desc(query.FieldInfluence)).Limit(10).Build()
+	scatter := func(b *testing.B, wantDegraded bool) {
+		b.ReportAllocs()
+		v := cl.View()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, degraded, err := cl.Query(v, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if degraded != wantDegraded {
+				b.Fatalf("degraded = %v, want %v", degraded, wantDegraded)
+			}
+			if res.Total < 1 {
+				b.Fatal("empty scatter result")
+			}
+		}
+	}
+
+	b.Run("query/healthy", func(b *testing.B) { scatter(b, false) })
+
+	var wedged atomic.Bool
+	wedged.Store(true)
+	cl.SetSlowShardHook(func(si int) {
+		if si == 3 && wedged.Load() {
+			time.Sleep(50 * time.Millisecond) // > ProbeTimeout: rejoin probes fail
+		}
+	})
+	defer func() {
+		wedged.Store(false)
+		cl.SetSlowShardHook(nil)
+	}()
+	cl.CrashShard(3)
+	for cl.ShardHealths()[3] == cluster.HealthHealthy {
+		time.Sleep(time.Millisecond) // wait out the immediate supervisor pass
+	}
+
+	b.Run("query/degraded", func(b *testing.B) { scatter(b, true) })
 }

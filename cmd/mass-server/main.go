@@ -79,6 +79,11 @@ func main() {
 		ckptEvery     = flag.Int("checkpoint-every", 4096, "write a snapshot once this many WAL records accumulate past the last one")
 		shards        = flag.Int("shards", 1, "engine shards behind the consistent-hash coordinator (1: single engine, full feature set)")
 		shardTimeout  = flag.Duration("shard-timeout", 2*time.Second, "per-shard scatter deadline before a query degrades to a partial result")
+		probeIvl      = flag.Duration("probe-interval", time.Second, "shard supervisor health-probe and restart cadence")
+		probeTimeout  = flag.Duration("probe-timeout", 0, "supervisor probe deadline before a shard counts as wedged (0: same as -shard-timeout)")
+		breakerAfter  = flag.Int("breaker-threshold", 3, "consecutive shard failures before its circuit breaker opens (quarantine)")
+		spillLimit    = flag.Int("spill-limit", 4096, "per-shard spill-queue capacity; writes beyond it are shed with 429")
+		ingestRetries = flag.Int("ingest-retries", 3, "transient ingest failures tolerated per write before the shard quarantines")
 	)
 	flag.Parse()
 
@@ -98,9 +103,14 @@ func main() {
 	// -data-dir, same responses), so -shards 1 costs nothing.
 	t0 := time.Now()
 	cl, err := cluster.New(corpus, cluster.Options{
-		Shards:       *shards,
-		ShardTimeout: *shardTimeout,
-		DataDir:      *dataDir,
+		Shards:           *shards,
+		ShardTimeout:     *shardTimeout,
+		DataDir:          *dataDir,
+		ProbeInterval:    *probeIvl,
+		ProbeTimeout:     *probeTimeout,
+		BreakerThreshold: *breakerAfter,
+		SpillLimit:       *spillLimit,
+		IngestRetries:    *ingestRetries,
 		Engine: core.EngineOptions{
 			FlushEvery:    *flushEvery,
 			FlushInterval: *flushInterval,

@@ -127,7 +127,10 @@ func NewEngine(e *core.Engine, opts ...Option) *Server {
 // whose per-shard analyses cannot be merged (trends, subscriptions)
 // answer 501 unsupported.
 func NewCluster(cl *cluster.Cluster, opts ...Option) *Server {
-	return newServer(cl.Shard(0).Current, cl.Shard(0), cl, opts)
+	// Resolve the shard-0 engine per call, not at construction: the
+	// supervisor may replace it after a crash, and a server pinned to the
+	// dead engine would serve a frozen snapshot forever.
+	return newServer(func() *core.Snapshot { return cl.Shard(0).Current() }, cl.Shard(0), cl, opts)
 }
 
 func newServer(current func() *core.Snapshot, e *core.Engine, cl *cluster.Cluster, optFns []Option) *Server {

@@ -27,6 +27,17 @@ import (
 // coordinator rather than a single snapshot.
 func (s *Server) sharded() bool { return s.cluster != nil && s.cluster.NumShards() > 1 }
 
+// liveEngine resolves the engine behind status/subscription paths per
+// call. In cluster mode the shard-0 engine can be replaced by the
+// supervisor after a crash, so the boot-time s.engine pointer would go
+// stale; s.engine keeps its role as the mode flag (nil = static).
+func (s *Server) liveEngine() *core.Engine {
+	if s.cluster != nil {
+		return s.cluster.Shard(0)
+	}
+	return s.engine
+}
+
 // addBatch routes a mutation batch: through the cluster's consistent-hash
 // ring when one is attached (a pass-through at one shard), else straight
 // into the engine.
@@ -42,7 +53,7 @@ func (s *Server) liveStatus() core.EngineStatus {
 	if s.cluster != nil {
 		return s.cluster.Status()
 	}
-	return s.engine.Status()
+	return s.liveEngine().Status()
 }
 
 // clusterEngineResponse is the sharded GET /api/v1/engine payload: the

@@ -38,6 +38,10 @@ const (
 	// ErrCodeRateLimited: the per-client token bucket is empty; retry after
 	// the Retry-After response header (seconds).
 	ErrCodeRateLimited = "rate_limited"
+	// ErrCodeOverloaded: a shard is quarantined and its spill queue is
+	// full, so the write was shed instead of acknowledged. Retry after the
+	// Retry-After response header (seconds).
+	ErrCodeOverloaded = "overloaded"
 	// ErrCodeConflict: the request contends with existing state — e.g. a
 	// second concurrent event stream attached to one subscription.
 	ErrCodeConflict = "conflict"
@@ -103,6 +107,10 @@ type Page struct {
 // return it instead of writing to the ResponseWriter themselves.
 type apiError struct {
 	status int
+	// retryAfter, when positive, is emitted as a Retry-After header
+	// (seconds, rounded up) — set on 429 responses so clients back off
+	// instead of hammering a shedding shard.
+	retryAfter int
 	Error
 }
 
@@ -142,6 +150,9 @@ func writeEnvelope(w http.ResponseWriter, status int, env Envelope) {
 
 // writeAPIError writes e as an error envelope.
 func writeAPIError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
 	writeEnvelope(w, e.status, Envelope{Error: &e.Error})
 }
 

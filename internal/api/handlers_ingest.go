@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mass/internal/blog"
+	"mass/internal/cluster"
 	"mass/internal/core"
 )
 
@@ -175,6 +176,18 @@ func (s *Server) ingest(dec decodeFunc, r *http.Request, strict bool) (ingestRes
 		return ingestResponse{}, aerr
 	}
 	if err := s.addBatch(batch); err != nil {
+		// A quarantined shard whose spill queue saturated sheds the write:
+		// 429 with a Retry-After hint, so well-behaved clients back off
+		// while the supervisor restarts and drains the shard.
+		var ov *cluster.OverloadError
+		if errors.As(err, &ov) {
+			aerr := errf(http.StatusTooManyRequests, ErrCodeOverloaded, "%v", err)
+			aerr.retryAfter = int((ov.RetryAfter + time.Second - 1) / time.Second)
+			if aerr.retryAfter < 1 {
+				aerr.retryAfter = 1
+			}
+			return ingestResponse{}, aerr
+		}
 		return ingestResponse{}, errf(http.StatusBadRequest, ErrCodeValidation, "%v", err)
 	}
 	st := s.liveStatus()

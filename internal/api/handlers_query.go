@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"net/http"
 
+	"mass/internal/cluster"
 	"mass/internal/query"
 )
 
@@ -79,15 +80,50 @@ func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
 	}})
 }
 
-// healthzResponse is the liveness payload: process-level health only,
-// for load balancers — no snapshot pin, no analysis state.
+// healthzResponse is the liveness payload: process-level health plus
+// durability readiness, for load balancers — no snapshot pin, no
+// analysis state.
 type healthzResponse struct {
 	Status string `json:"status"`
 	Live   bool   `json:"live"`
+	// Durability reports the live engine's WAL state on single-engine
+	// (and 1-shard) servers: "ok", "failed" (fail-stopped: the engine
+	// still serves reads but rejects writes), or "off" (in-memory).
+	// Absent in static mode and on multi-shard clusters.
+	Durability string `json:"durability,omitempty"`
+	// Shards is the per-shard readiness vector on a multi-shard
+	// cluster: health, durability, generation and spill depth per shard.
+	Shards []cluster.ShardReadiness `json:"shards,omitempty"`
 }
 
-// handleV1Healthz is GET /api/v1/healthz: a constant-cost liveness probe
-// (the one lock-free atomic load it does is to report the current seq).
-func (s *Server) handleV1Healthz(r *http.Request) (any, uint64, *apiError) {
-	return healthzResponse{Status: "ok", Live: s.engine != nil}, s.current().Seq, nil
+// handleV1Healthz is GET /api/v1/healthz: a cheap liveness + readiness
+// probe. It stays 200 while at least one shard can accept writes (a
+// quarantined shard still spills, a fail-stopped one still reads) and
+// degrades to 503 only when every durable shard has fail-stopped its
+// WAL — the one state where acknowledged writes can no longer be made
+// durable anywhere, so a load balancer should stop routing ingest here.
+func (s *Server) handleV1Healthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{Status: "ok", Live: s.engine != nil}
+	status := http.StatusOK
+	if s.sharded() {
+		shards, failStopped := s.cluster.Readiness()
+		resp.Shards = shards
+		if failStopped {
+			resp.Status = "failstop"
+			status = http.StatusServiceUnavailable
+		}
+	} else if e := s.liveEngine(); e != nil {
+		switch {
+		case !e.Durable():
+			resp.Durability = "off"
+		case e.DurabilityErr() != nil:
+			resp.Durability = "failed"
+			resp.Status = "failstop"
+			status = http.StatusServiceUnavailable
+		default:
+			resp.Durability = "ok"
+		}
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	writeEnvelope(w, status, Envelope{Data: resp, Meta: &Meta{Seq: s.current().Seq}})
 }

@@ -424,7 +424,7 @@ func (s *Server) engineStatus() engineResponse {
 			Links:    len(c.Links),
 		}}
 	}
-	return engineResponse{Live: true, EngineStatus: s.engine.Status()}
+	return engineResponse{Live: true, EngineStatus: s.liveEngine().Status()}
 }
 
 func (s *Server) handleV1Engine(r *http.Request) (any, uint64, *apiError) {

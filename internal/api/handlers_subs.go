@@ -46,7 +46,7 @@ func (s *Server) hub() (*subs.Hub, *apiError) {
 		return nil, errf(http.StatusNotImplemented, ErrCodeUnsupported,
 			"subscriptions are not available on a sharded cluster; deploy -shards 1 for standing queries")
 	}
-	return s.engine.Subscriptions(), nil
+	return s.liveEngine().Subscriptions(), nil
 }
 
 // subErr maps hub errors onto the envelope vocabulary.

@@ -81,7 +81,7 @@ func (s *Server) routeTable() []route {
 	v1 := []route{
 		{Method: "GET", Pattern: "/api/v1", Summary: "API discovery document: routes, parameter bounds, links", Envelope: true, handler: s.v1NoSnapshot(s.handleV1Discovery)},
 		{Method: "GET", Pattern: "/api/v1/openapi.json", Summary: "OpenAPI 3.0 description of this server, generated from the route table", handler: s.handleV1OpenAPI},
-		{Method: "GET", Pattern: "/api/v1/healthz", Summary: "Liveness probe for load balancers (constant cost, no snapshot pin)", Envelope: true, handler: s.v1NoSnapshot(s.handleV1Healthz)},
+		{Method: "GET", Pattern: "/api/v1/healthz", Summary: "Liveness/readiness probe for load balancers: per-shard durability state, 503 when every durable shard has fail-stopped", Envelope: true, handler: s.handleV1Healthz},
 		{Method: "POST", Pattern: "/api/v1/query", Summary: "Composable query over bloggers, posts and domains: filter/order/project/paginate/aggregate; body is the query AST (JSON-Schema in the OpenAPI spec), honors If-None-Match", Envelope: true, handler: queryHandler, bodySchema: query.JSONSchema()},
 		{Method: "GET", Pattern: "/api/v1/stats", Summary: "Corpus summary statistics", Envelope: true, handler: s.pick(s.v1Read(s.handleV1Stats), s.clusterRead(s.handleClusterStats))},
 		{Method: "GET", Pattern: "/api/v1/bloggers/top", Summary: "General influence ranking, paginated", Params: pageParamDocs(), Envelope: true, handler: s.pick(s.v1Read(s.handleV1TopBloggers), s.clusterRead(s.handleClusterTop))},

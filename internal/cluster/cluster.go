@@ -48,6 +48,32 @@ type Options struct {
 	// PageRank overrides the linkrank options for GlobalPageRank; zero
 	// values take the linkrank defaults.
 	PageRank linkrank.Options
+
+	// ProbeInterval is the supervisor's cadence: how often degraded shards
+	// are probed, quarantined shards restarted, and recovering shards
+	// offered a half-open rejoin. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe. Default ShardTimeout.
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive failure count (scatter timeouts,
+	// panics, ingest errors) that trips a shard's circuit breaker open.
+	// Default 3.
+	BreakerThreshold int
+	// IngestRetries bounds the capped-backoff retries of a routed write
+	// against a transiently failing shard before it spills. Default 3.
+	IngestRetries int
+	// IngestRetryDelay is the initial retry backoff, doubling per attempt
+	// up to MaxIngestRetryDelay. Defaults 5ms / 100ms.
+	IngestRetryDelay    time.Duration
+	MaxIngestRetryDelay time.Duration
+	// SpillLimit caps each shard's spill queue (ops buffered while the
+	// shard is down); past it ingest sheds with OverloadError. Default
+	// 4096.
+	SpillLimit int
+	// ShardFS, when set, overrides the filesystem for shard i's engine WAL
+	// and spill queue — per-shard fsync fault injection for tests. nil
+	// entries (and a nil func) fall back to Engine.Durability.FS.
+	ShardFS func(shard int) wal.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +92,27 @@ func (o Options) withDefaults() Options {
 	if o.FallbackMass == 0 {
 		o.FallbackMass = 2.0
 	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ShardTimeout
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.IngestRetries <= 0 {
+		o.IngestRetries = 3
+	}
+	if o.IngestRetryDelay <= 0 {
+		o.IngestRetryDelay = 5 * time.Millisecond
+	}
+	if o.MaxIngestRetryDelay <= 0 {
+		o.MaxIngestRetryDelay = 100 * time.Millisecond
+	}
+	if o.SpillLimit <= 0 {
+		o.SpillLimit = 4096
+	}
 	return o
 }
 
@@ -80,11 +127,12 @@ type manifest struct {
 // Cluster is N independent core.Engine shards behind one consistent-hash
 // ring, plus the shared state that cannot live in any single shard: the
 // boundary set of cross-shard link edges (with its own WAL), the post →
-// shard routing map, and the scatter-gather counters.
+// shard routing map, the scatter-gather counters, and the supervisor that
+// keeps crashed/wedged shards cycling back to Healthy.
 type Cluster struct {
 	opts   Options
 	ring   *Ring
-	shards []*core.Engine
+	shards []*shardSlot
 
 	mu        sync.Mutex // guards boundary + postOwner
 	boundary  map[blog.Link]struct{}
@@ -97,11 +145,60 @@ type Cluster struct {
 	degradedQueries atomic.Uint64
 	mergeFallbacks  atomic.Uint64
 
+	// Supervision counters (surfaced through FullStatus / /api/v1/engine).
+	breakerOpens    atomic.Uint64 // transitions into Quarantined
+	shardRestarts   atomic.Uint64 // engines torn down and re-created
+	spilledRecords  atomic.Uint64 // ops acknowledged into spill queues
+	replayedRecords atomic.Uint64 // spilled ops replayed into their shard
+	shedRequests    atomic.Uint64 // ingests rejected with OverloadError
+
+	// supervisor lifecycle: the loop exits when supQuit closes, confirmed
+	// by supDone; supKick nudges it out of its probe-interval sleep.
+	supQuit   chan struct{}
+	supDone   chan struct{}
+	supKick   chan struct{}
+	closeOnce sync.Once
+
 	// slowShard, when set, runs inside the scatter worker before the shard
 	// sub-query — a test hook for deterministic slow-shard injection. It
 	// is atomic because a degraded read returns while its slow worker is
 	// still running, and the test may clear the hook right after.
 	slowShard atomic.Pointer[func(shard int)]
+}
+
+// shardEngineOpts derives shard i's engine options: its durability
+// directory under DataDir (shard-<i>/ at N > 1, DataDir itself at N == 1
+// — the bare-engine layout), and the per-shard fault-injection FS when
+// configured. The supervisor re-uses it to rebuild a crashed shard's
+// engine over the same directory.
+func (cl *Cluster) shardEngineOpts(i int) core.EngineOptions {
+	eopts := cl.opts.Engine
+	switch {
+	case cl.opts.DataDir != "" && cl.opts.Shards > 1:
+		eopts.Durability = cl.opts.Engine.Durability
+		eopts.Durability.Dir = filepath.Join(cl.opts.DataDir, fmt.Sprintf("shard-%d", i))
+	case cl.opts.DataDir != "":
+		eopts.Durability = cl.opts.Engine.Durability
+		eopts.Durability.Dir = cl.opts.DataDir
+	default:
+		eopts.Durability = core.DurabilityOptions{}
+	}
+	if cl.opts.ShardFS != nil {
+		if fs := cl.opts.ShardFS(i); fs != nil {
+			eopts.Durability.FS = fs
+		}
+	}
+	return eopts
+}
+
+// shardFS picks the filesystem shard i's spill queue writes through.
+func (cl *Cluster) shardFS(i int) wal.FS {
+	if cl.opts.ShardFS != nil {
+		if fs := cl.opts.ShardFS(i); fs != nil {
+			return fs
+		}
+	}
+	return cl.opts.Engine.Durability.FS
 }
 
 // New boots a cluster, splitting the preload corpus across the shards by
@@ -120,6 +217,9 @@ func New(c *blog.Corpus, opts Options) (*Cluster, error) {
 		boundary:  make(map[blog.Link]struct{}),
 		postOwner: make(map[blog.PostID]int),
 		sem:       make(chan struct{}, opts.ScatterWorkers),
+		supQuit:   make(chan struct{}),
+		supDone:   make(chan struct{}),
+		supKick:   make(chan struct{}, 1),
 	}
 	if opts.DataDir != "" {
 		if err := cl.checkManifest(); err != nil {
@@ -144,23 +244,31 @@ func New(c *blog.Corpus, opts Options) (*Cluster, error) {
 		}
 	}
 	for i := 0; i < opts.Shards; i++ {
-		eopts := opts.Engine
-		switch {
-		case opts.DataDir != "" && opts.Shards > 1:
-			eopts.Durability = opts.Engine.Durability
-			eopts.Durability.Dir = filepath.Join(opts.DataDir, fmt.Sprintf("shard-%d", i))
-		case opts.DataDir != "":
-			eopts.Durability = opts.Engine.Durability
-			eopts.Durability.Dir = opts.DataDir
-		default:
-			eopts.Durability = core.DurabilityOptions{}
+		sh := &shardSlot{idx: i}
+		// The spill queue opens before the engine: a crash mid-replay
+		// leaves spilled records on disk, and the shard must come up
+		// Recovering (breaker open) until they drain back in.
+		spillDir := ""
+		if opts.DataDir != "" {
+			spillDir = filepath.Join(opts.DataDir, fmt.Sprintf("spill-%d", i))
 		}
-		e, err := core.NewEngine(parts[i], eopts)
+		q, err := newSpillQueue(opts.SpillLimit, spillDir, cl.shardFS(i))
 		if err != nil {
-			cl.closeShards(i)
+			cl.closeShards(len(cl.shards))
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		cl.shards = append(cl.shards, e)
+		sh.spill = q
+		e, err := core.NewEngine(parts[i], cl.shardEngineOpts(i))
+		if err != nil {
+			q.close()
+			cl.closeShards(len(cl.shards))
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		sh.eng.Store(e)
+		if len(q.pending()) > 0 {
+			sh.health.Store(int32(HealthRecovering))
+		}
+		cl.shards = append(cl.shards, sh)
 	}
 	// Persist preload boundary edges not already recovered from the log.
 	for _, l := range boundary {
@@ -170,18 +278,28 @@ func New(c *blog.Corpus, opts Options) (*Cluster, error) {
 		}
 	}
 	// Seed post routing from what the shards actually hold — covers both
-	// the preload split and WAL-recovered state uniformly.
-	for i, e := range cl.shards {
-		for pid := range e.Current().Corpus().Posts {
+	// the preload split and WAL-recovered state uniformly — plus what sits
+	// in their spill queues, so comments on a spilled post route correctly
+	// before the replay lands.
+	for i, sh := range cl.shards {
+		for pid := range sh.eng.Load().Current().Corpus().Posts {
 			cl.postOwner[pid] = i
 		}
+		for _, op := range sh.spill.pending() {
+			if op.Kind == wal.OpPost && op.Post != nil {
+				cl.postOwner[op.Post.ID] = i
+			}
+		}
 	}
+	go cl.supervise()
+	cl.kickSupervisor() // drain any boot-recovered spill promptly
 	return cl, nil
 }
 
 func (cl *Cluster) closeShards(n int) {
 	for i := 0; i < n && i < len(cl.shards); i++ {
-		cl.shards[i].Close()
+		cl.shards[i].eng.Load().Close()
+		cl.shards[i].spill.close()
 	}
 	if cl.bwal != nil {
 		cl.bwal.Close()
@@ -281,8 +399,10 @@ func (cl *Cluster) Owner(id blog.BloggerID) int { return cl.ring.Owner(string(id
 // NumShards reports the shard count.
 func (cl *Cluster) NumShards() int { return len(cl.shards) }
 
-// Shard returns shard i's engine.
-func (cl *Cluster) Shard(i int) *core.Engine { return cl.shards[i] }
+// Shard returns shard i's current engine. After a supervised restart this
+// is the replacement engine, so callers must not cache the pointer across
+// calls when they care about liveness.
+func (cl *Cluster) Shard(i int) *core.Engine { return cl.shards[i].eng.Load() }
 
 // BoundaryEdges reports the current cross-shard edge count.
 func (cl *Cluster) BoundaryEdges() int {
@@ -312,11 +432,17 @@ func (cl *Cluster) boundarySnapshot() []blog.Link {
 // shards (so per-shard solves and the merged node union see them), then
 // dedup into the set and append to the boundary WAL.
 func (cl *Cluster) addBoundary(from, to blog.BloggerID) error {
-	if err := cl.shards[cl.Owner(from)].EnsureBlogger(from); err != nil {
-		return err
-	}
-	if err := cl.shards[cl.Owner(to)].EnsureBlogger(to); err != nil {
-		return err
+	for _, id := range [2]blog.BloggerID{from, to} {
+		id := id
+		sh := cl.shards[cl.Owner(id)]
+		err := cl.applyShard(sh,
+			func(e *core.Engine) error { return e.EnsureBlogger(id) },
+			func() []wal.Op {
+				return []wal.Op{{Kind: wal.OpBlogger, Blogger: &blog.Blogger{ID: id}}}
+			})
+		if err != nil {
+			return err
+		}
 	}
 	l := blog.Link{From: from, To: to}
 	cl.mu.Lock()
@@ -340,7 +466,10 @@ func (cl *Cluster) addBoundary(from, to blog.BloggerID) error {
 // the boundary set with stub endpoints admitted on their owner shards.
 func (cl *Cluster) AddBatch(b core.Batch) error {
 	if len(cl.shards) == 1 {
-		return cl.shards[0].AddBatch(b)
+		sh := cl.shards[0]
+		return cl.applyShard(sh,
+			func(e *core.Engine) error { return e.AddBatch(b) },
+			func() []wal.Op { return batchOps(b) })
 	}
 	parts := make([]core.Batch, len(cl.shards))
 	for _, bl := range b.Bloggers {
@@ -378,7 +507,14 @@ func (cl *Cluster) AddBatch(b core.Batch) error {
 		}
 	}
 	for s, part := range parts {
-		if err := cl.shards[s].AddBatch(part); err != nil {
+		if part.Size() == 0 {
+			continue
+		}
+		part := part
+		err := cl.applyShard(cl.shards[s],
+			func(e *core.Engine) error { return e.AddBatch(part) },
+			func() []wal.Op { return batchOps(part) })
+		if err != nil {
 			return fmt.Errorf("cluster: shard %d: %w", s, err)
 		}
 	}
@@ -405,7 +541,10 @@ func (cl *Cluster) IngestPage(page *blogserver.Page) error {
 		return fmt.Errorf("cluster: nil page")
 	}
 	if len(cl.shards) == 1 {
-		return cl.shards[0].IngestPage(page)
+		sh := cl.shards[0]
+		return cl.applyShard(sh,
+			func(e *core.Engine) error { return e.IngestPage(page) },
+			func() []wal.Op { return pageOps(page) })
 	}
 	s := cl.Owner(page.Blogger.ID)
 	local := *page
@@ -426,7 +565,10 @@ func (cl *Cluster) IngestPage(page *blogserver.Page) error {
 			local.Linkbacks = append(local.Linkbacks, source)
 		}
 	}
-	if err := cl.shards[s].IngestPage(&local); err != nil {
+	err := cl.applyShard(cl.shards[s],
+		func(e *core.Engine) error { return e.IngestPage(&local) },
+		func() []wal.Op { return pageOps(&local) })
+	if err != nil {
 		return err
 	}
 	if len(page.Posts) > 0 {
@@ -450,27 +592,38 @@ func (cl *Cluster) IngestPage(page *blogserver.Page) error {
 // reports the feature unsupported.
 func (cl *Cluster) Subscriptions() *subs.Hub {
 	if len(cl.shards) == 1 {
-		return cl.shards[0].Subscriptions()
+		return cl.shards[0].eng.Load().Subscriptions()
 	}
 	return nil
 }
 
 // Refresh forces every shard to fold in its pending mutations and publish.
+// Shards with an open breaker are skipped — their engine is mid-teardown
+// or mid-recovery, and the supervisor republishes them on rejoin.
 func (cl *Cluster) Refresh(ctx context.Context) error {
-	for _, e := range cl.shards {
-		if err := e.Refresh(ctx); err != nil {
+	for _, sh := range cl.shards {
+		if sh.breakerOpen() {
+			continue
+		}
+		if err := sh.eng.Load().Refresh(ctx); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Close drains the shards one by one — each engine's Close runs a final
-// flush and checkpoint — then closes the boundary WAL.
+// Close stops the supervisor, drains the shards one by one — each
+// engine's Close runs a final flush and checkpoint — then closes the
+// spill queues and the boundary WAL.
 func (cl *Cluster) Close() error {
+	cl.closeOnce.Do(func() { close(cl.supQuit) })
+	<-cl.supDone
 	var first error
-	for _, e := range cl.shards {
-		if err := e.Close(); err != nil && first == nil {
+	for _, sh := range cl.shards {
+		if err := sh.eng.Load().Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := sh.spill.close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -489,13 +642,14 @@ func (cl *Cluster) Close() error {
 // replicate across shards. Links adds the boundary edges no shard holds.
 func (cl *Cluster) Status() core.EngineStatus {
 	if len(cl.shards) == 1 {
-		return cl.shards[0].Status()
+		return cl.shards[0].eng.Load().Status()
 	}
 	var out core.EngineStatus
 	out.Converged = true
 	out.PageRankSkipped = true
 	out.RecoveryTruncatedAt = -1
-	for i, e := range cl.shards {
+	for i, sh := range cl.shards {
+		e := sh.eng.Load()
 		st := e.Status()
 		if st.Seq > out.Seq {
 			out.Seq = st.Seq
@@ -556,13 +710,28 @@ type ClusterStatus struct {
 	DegradedQueries uint64   `json:"degradedQueries"`
 	BoundaryEdges   int      `json:"boundaryEdges"`
 	MergeFallbacks  uint64   `json:"mergeFallbacks"`
+	// Supervision: per-shard lifecycle states plus the breaker, restart,
+	// spill/replay and shedding counters.
+	ShardHealth     []string `json:"shardHealth"`
+	BreakerOpens    uint64   `json:"breakerOpens"`
+	ShardRestarts   uint64   `json:"shardRestarts"`
+	SpilledRecords  uint64   `json:"spilledRecords"`
+	ReplayedRecords uint64   `json:"replayedRecords"`
+	ShedRequests    uint64   `json:"shedRequests"`
+	SpillPending    int      `json:"spillPending"`
 }
 
 // FullStatus reports Status plus the cluster-level counters.
 func (cl *Cluster) FullStatus() ClusterStatus {
 	seqs := make([]uint64, len(cl.shards))
-	for i, e := range cl.shards {
-		seqs[i] = e.Current().Seq
+	health := make([]string, len(cl.shards))
+	pending := 0
+	for i, sh := range cl.shards {
+		seqs[i] = sh.eng.Load().Current().Seq
+		health[i] = sh.healthState().String()
+		sh.mu.Lock()
+		pending += len(sh.spill.pending())
+		sh.mu.Unlock()
 	}
 	return ClusterStatus{
 		EngineStatus:    cl.Status(),
@@ -572,5 +741,60 @@ func (cl *Cluster) FullStatus() ClusterStatus {
 		DegradedQueries: cl.degradedQueries.Load(),
 		BoundaryEdges:   cl.BoundaryEdges(),
 		MergeFallbacks:  cl.mergeFallbacks.Load(),
+		ShardHealth:     health,
+		BreakerOpens:    cl.breakerOpens.Load(),
+		ShardRestarts:   cl.shardRestarts.Load(),
+		SpilledRecords:  cl.spilledRecords.Load(),
+		ReplayedRecords: cl.replayedRecords.Load(),
+		ShedRequests:    cl.shedRequests.Load(),
+		SpillPending:    pending,
 	}
+}
+
+// ShardReadiness is one shard's row in the healthz readiness report.
+type ShardReadiness struct {
+	Shard  int    `json:"shard"`
+	Health string `json:"health"`
+	// Durability is "ok", "failed" (the WAL hit its sticky fail-stop), or
+	// "off" (in-memory shard).
+	Durability string `json:"durability"`
+	Seq        uint64 `json:"seq"`
+	// SpillPending counts acknowledged ops waiting to replay into this
+	// shard.
+	SpillPending int    `json:"spillPending,omitempty"`
+	Restarts     uint64 `json:"restarts,omitempty"`
+}
+
+// Readiness reports per-shard health + durability for /api/v1/healthz,
+// and whether the cluster as a whole has lost durability (every durable
+// shard fail-stopped — the 503 condition; an in-memory cluster is never
+// fail-stopped).
+func (cl *Cluster) Readiness() (shards []ShardReadiness, failStopped bool) {
+	shards = make([]ShardReadiness, len(cl.shards))
+	durable, failed := 0, 0
+	for i, sh := range cl.shards {
+		e := sh.eng.Load()
+		r := ShardReadiness{
+			Shard:    i,
+			Health:   sh.healthState().String(),
+			Seq:      e.Current().Seq,
+			Restarts: sh.restarts.Load(),
+		}
+		switch {
+		case !e.Durable():
+			r.Durability = "off"
+		case e.DurabilityErr() != nil:
+			r.Durability = "failed"
+			durable++
+			failed++
+		default:
+			r.Durability = "ok"
+			durable++
+		}
+		sh.mu.Lock()
+		r.SpillPending = len(sh.spill.pending())
+		sh.mu.Unlock()
+		shards[i] = r
+	}
+	return shards, durable > 0 && failed == durable
 }

@@ -19,11 +19,14 @@ type View struct {
 	Snaps []*core.Snapshot
 }
 
-// View pins the current generation of every shard.
+// View pins the current generation of every shard. A quarantined shard
+// contributes its last published snapshot — stale but readable, which is
+// what lets the breaker fast-fail queries without losing the shard's data
+// from results entirely once it recovers.
 func (cl *Cluster) View() *View {
 	v := &View{Snaps: make([]*core.Snapshot, len(cl.shards))}
-	for i, e := range cl.shards {
-		v.Snaps[i] = e.Current()
+	for i, sh := range cl.shards {
+		v.Snaps[i] = sh.eng.Load().Current()
 	}
 	return v
 }
@@ -79,57 +82,95 @@ func (cl *Cluster) SetSlowShardHook(fn func(shard int)) {
 
 // scatterPart is one shard's contribution to a scattered read.
 type scatterPart struct {
-	shard int
-	val   any
-	err   error
+	shard    int
+	val      any
+	err      error
+	panicked bool
 }
 
 // scatter fans fn across the shards on the bounded worker pool and gathers
-// with a deadline: a shard that has not answered within ShardTimeout is
-// dropped from the result (nil slot) and the read is flagged degraded.
-// Late results land in a buffered channel and are discarded — an
-// uncancelable in-flight sub-query never blocks anything. Per-shard errors
-// fail the whole read (the executor is deterministic, so an error on one
-// shard means the query itself is bad).
+// with a deadline. Shards with an open circuit breaker are never launched
+// — the read is flagged degraded immediately instead of burning the full
+// ShardTimeout against a shard known to be down (that fast-fail is the
+// breaker's whole point). A worker that panics is isolated: its shard is
+// dropped from the result like a timed-out one and the failure counts
+// toward the shard's breaker, never toward the caller. A shard that has
+// not answered within ShardTimeout is dropped from the result (nil slot),
+// the read is flagged degraded, and the miss counts against its breaker;
+// an answer counts as a success. Late results land in a buffered channel
+// and are discarded — an uncancelable in-flight sub-query never blocks
+// anything. Per-shard errors fail the whole read (the executor is
+// deterministic, so an error on one shard means the query itself is bad).
 func (cl *Cluster) scatter(v *View, fn func(si int, snap *core.Snapshot) (any, error)) (vals []any, degraded bool, err error) {
 	cl.scatterQueries.Add(1)
 	n := len(v.Snaps)
 	ch := make(chan scatterPart, n)
+	launched := 0
+	admitted := make([]bool, n)
 	for i := 0; i < n; i++ {
+		if cl.shards[i].breakerOpen() {
+			continue
+		}
+		admitted[i] = true
+		launched++
 		go func(si int) {
 			cl.sem <- struct{}{}
 			defer func() { <-cl.sem }()
-			if hook := cl.slowShard.Load(); hook != nil {
-				(*hook)(si)
-			}
-			val, err := fn(si, v.Snaps[si])
-			ch <- scatterPart{shard: si, val: val, err: err}
+			p := scatterPart{shard: si}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						p.panicked, p.val, p.err = true, nil, nil
+					}
+				}()
+				if hook := cl.slowShard.Load(); hook != nil {
+					(*hook)(si)
+				}
+				p.val, p.err = fn(si, v.Snaps[si])
+			}()
+			ch <- p
 		}(i)
 	}
 	vals = make([]any, n)
+	degraded = launched < n
+	answered := make([]bool, n)
 	deadline := time.NewTimer(cl.opts.ShardTimeout)
 	defer deadline.Stop()
-	for got := 0; got < n; {
+	finish := func() ([]any, bool, error) {
+		if degraded {
+			cl.degradedQueries.Add(1)
+		}
+		if err != nil {
+			return nil, degraded, err
+		}
+		return vals, degraded, nil
+	}
+	for got := 0; got < launched; {
 		select {
 		case p := <-ch:
 			got++
+			answered[p.shard] = true
+			if p.panicked {
+				degraded = true
+				cl.shards[p.shard].recordFailure(cl)
+				continue
+			}
+			cl.shards[p.shard].recordSuccess()
 			if p.err != nil && err == nil {
 				err = p.err
 			}
 			vals[p.shard] = p.val
 		case <-deadline.C:
 			degraded = true
-			cl.degradedQueries.Add(1)
-			if err != nil {
-				return nil, degraded, err
+			for i := range answered {
+				if admitted[i] && !answered[i] {
+					cl.shards[i].recordFailure(cl)
+				}
 			}
-			return vals, degraded, nil
+			return finish()
 		}
 	}
-	if err != nil {
-		return nil, degraded, err
-	}
-	return vals, degraded, nil
+	return finish()
 }
 
 // authorEqTarget detects the single-shard routing opportunity: a posts

@@ -40,8 +40,8 @@ type GlobalResult struct {
 // the same vector the single engine would compute, to solver tolerance.
 func (cl *Cluster) GlobalPageRank(opts linkrank.Options) (*GlobalResult, error) {
 	corpora := make([]*blog.Corpus, len(cl.shards))
-	for i, e := range cl.shards {
-		corpora[i] = e.Current().Corpus()
+	for i, sh := range cl.shards {
+		corpora[i] = sh.eng.Load().Current().Corpus()
 	}
 	boundary := cl.boundarySnapshot()
 

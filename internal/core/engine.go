@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -323,6 +324,11 @@ func (e *Engine) Status() EngineStatus {
 
 // --------------------------------------------------------------- mutation
 
+// ErrClosed is returned by every mutation path once the engine has been
+// closed or killed. The cluster supervisor matches it to classify a
+// rejected write as transient (the shard is restarting) rather than bad.
+var ErrClosed = errors.New("core: engine is closed")
+
 // mutate applies fn to the corpus under the write lock. fn reports how
 // many mutations it actually applied (deduplicated re-deliveries count
 // zero, so idempotent re-crawls don't trigger pointless re-analyses);
@@ -339,7 +345,7 @@ func (e *Engine) mutate(fn func(c *blog.Corpus, w *wal.Batch) (int, error)) erro
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return fmt.Errorf("core: engine is closed")
+		return ErrClosed
 	}
 	var w *wal.Batch
 	if e.wal != nil {
@@ -553,6 +559,9 @@ type BatchComment struct {
 func (b Batch) size() int {
 	return len(b.Bloggers) + len(b.Posts) + len(b.Comments) + len(b.Links)
 }
+
+// Size reports how many mutations the batch carries.
+func (b Batch) Size() int { return b.size() }
 
 // AddBatch applies every mutation in the batch atomically: either all of
 // it lands (counting the mutations actually applied toward the debounce),
@@ -901,3 +910,118 @@ func (e *Engine) Close() error {
 	}
 	return err
 }
+
+// Kill tears the engine down without draining: mutations stop accepting
+// immediately, the flusher is signalled but NOT awaited (a wedged analysis
+// must not wedge the teardown too), no final flush or checkpoint runs, and
+// the WAL is closed as-is. Everything the WAL acknowledged is still on
+// disk (or in the OS page cache for an in-process restart), so a
+// supervisor can re-create the engine from the same directory and recover
+// every acknowledged mutation. The last published snapshot stays readable
+// after Kill — queries against a quarantined shard serve stale data rather
+// than failing. Idempotent, and safe to race with Close.
+func (e *Engine) Kill() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.quit)
+	if e.hub != nil {
+		e.hub.Shutdown()
+	}
+	if e.wal != nil {
+		e.wal.Close()
+	}
+}
+
+// DetachCorpus snapshots the engine's corpus — including mutations not yet
+// folded into a published analysis snapshot. It works on a closed or
+// killed engine (the corpus outlives the teardown), which is exactly the
+// supervisor's restart path for an in-memory shard: Kill, detach, seed the
+// replacement engine with the detached corpus so no acknowledged mutation
+// is lost.
+func (e *Engine) DetachCorpus() *blog.Corpus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.corpus.Snapshot()
+}
+
+// Durable reports whether this engine writes a WAL.
+func (e *Engine) Durable() bool { return e.wal != nil }
+
+// DurabilityErr returns the WAL's sticky fail-stop error, nil while
+// durability is healthy or disabled.
+func (e *Engine) DurabilityErr() error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.wal.Err()
+}
+
+// ApplyOps replays logged ops into the live engine in order — the spill
+// replay path. Each op runs through the same validated mutation helpers as
+// live ingest and is re-logged to this engine's own WAL, so replayed state
+// is exactly as durable as directly ingested state. Replay is idempotent
+// at-least-once: a duplicate post, an identical duplicate comment, or an
+// existing link is skipped silently (counted in dropped), so replaying a
+// prefix twice — e.g. after a crash mid-replay — converges instead of
+// erroring. Ops that fail validation are also dropped (a poison record
+// must not wedge the queue forever); only an engine-level failure (closed,
+// WAL fail-stop) aborts, reporting how far replay got.
+func (e *Engine) ApplyOps(ops []wal.Op) (applied, dropped int, err error) {
+	for i := range ops {
+		op := &ops[i]
+		merr := e.mutate(func(c *blog.Corpus, w *wal.Batch) (int, error) {
+			switch op.Kind {
+			case wal.OpPost:
+				if op.Post != nil {
+					if _, dup := c.Posts[op.Post.ID]; dup {
+						return 0, errOpDropped
+					}
+				}
+			case wal.OpComment:
+				if op.Comment != nil {
+					if p, ok := c.Posts[op.PostID]; ok {
+						for _, cm := range p.Comments {
+							if cm.Commenter == op.Comment.Commenter &&
+								cm.Text == op.Comment.Text &&
+								cm.Posted.Equal(op.Comment.Posted) {
+								return 0, errOpDropped
+							}
+						}
+					}
+				}
+			case wal.OpLink:
+				// addLinkStubbed dedups; n == 0 below covers it.
+			}
+			n, err := applyOp(c, op)
+			if err != nil {
+				return 0, err
+			}
+			if n > 0 {
+				w.Append(*op)
+			}
+			return n, nil
+		})
+		switch {
+		case merr == nil:
+			applied++
+		case errors.Is(merr, errOpDropped):
+			dropped++
+		case errors.Is(merr, ErrClosed):
+			return applied, dropped, merr
+		default:
+			if derr := e.DurabilityErr(); derr != nil {
+				return applied, dropped, derr
+			}
+			dropped++
+		}
+	}
+	return applied, dropped, nil
+}
+
+// errOpDropped marks a replayed op recognized as already applied.
+var errOpDropped = errors.New("core: op already applied")

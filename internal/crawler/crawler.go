@@ -13,6 +13,7 @@ package crawler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -195,11 +196,19 @@ func (cr *Crawler) Stream(ctx context.Context, baseURL string, seed blog.Blogger
 				stats.Truncated = true
 				break
 			}
-			stats.Fetched++
-			stats.Depth = depth
-			if err := sink.IngestPage(f.page); err != nil {
+			if err := cr.deliver(ctx, sink, f.page, &stats); err != nil {
+				if isTransientIngest(err) && ctx.Err() == nil {
+					// The sink is shedding load (e.g. a quarantined shard's
+					// spill queue saturated) and the retry budget is spent:
+					// give up on this page like a failed fetch and keep
+					// crawling, instead of aborting the whole stream.
+					stats.Failed++
+					continue
+				}
 				return stats, fmt.Errorf("crawler: ingesting %s: %w", f.id, err)
 			}
+			stats.Fetched++
+			stats.Depth = depth
 			for _, n := range PageNeighbors(f.page) {
 				if !visited[n] {
 					visited[n] = true
@@ -270,6 +279,46 @@ func (cr *Crawler) retryDelay(attempt int) time.Duration {
 		d = half + time.Duration(rand.Int63n(int64(half)+1))
 	}
 	return d
+}
+
+// deliver hands one page to the sink, retrying transient ingest
+// failures with the same capped exponential backoff fetches use. A
+// non-transient sink error (validation, closed engine) returns
+// immediately; a transient one retries until the budget is spent and
+// then reports the last error, leaving the abort-or-continue decision
+// to the caller.
+func (cr *Crawler) deliver(ctx context.Context, sink Sink, page *blogserver.Page, stats *Stats) error {
+	var lastErr error
+	for attempt := 0; attempt <= cr.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			statsAddRetry(stats)
+			timer := time.NewTimer(cr.retryDelay(attempt))
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+		}
+		err := sink.IngestPage(page)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !isTransientIngest(err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// isTransientIngest matches sink errors that advertise themselves as
+// retryable through a Temporary() bool method — the structural contract
+// cluster overload errors satisfy — without coupling the crawler to any
+// particular sink implementation.
+func isTransientIngest(err error) bool {
+	var tmp interface{ Temporary() bool }
+	return errors.As(err, &tmp) && tmp.Temporary()
 }
 
 // fetchWithRetry downloads and parses one space page.

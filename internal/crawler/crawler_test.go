@@ -3,6 +3,7 @@ package crawler
 import (
 	"context"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -311,5 +312,77 @@ func TestPageNeighborsExcludesSelf(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("neighbors %v, want %v", got, want)
 		}
+	}
+}
+
+// tempErr is a transient sink failure: errors.As finds Temporary() true,
+// matching the contract cluster.OverloadError exposes.
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "sink overloaded, try again" }
+func (tempErr) Temporary() bool { return true }
+
+// transientSink fails each page's first failPerPage deliveries with a
+// retryable error; pages in alwaysFail never succeed.
+type transientSink struct {
+	mu          sync.Mutex
+	failPerPage int
+	alwaysFail  map[blog.BloggerID]bool
+	attempts    map[blog.BloggerID]int
+	accepted    []*blogserver.Page
+}
+
+func (s *transientSink) IngestPage(p *blogserver.Page) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attempts == nil {
+		s.attempts = make(map[blog.BloggerID]int)
+	}
+	s.attempts[p.Blogger.ID]++
+	if s.alwaysFail[p.Blogger.ID] || s.attempts[p.Blogger.ID] <= s.failPerPage {
+		return tempErr{}
+	}
+	s.accepted = append(s.accepted, p)
+	return nil
+}
+
+func TestStreamRetriesTransientSinkErrors(t *testing.T) {
+	_, url := serve(t, blog.Figure1Corpus())
+	cr := New(Config{Workers: 2, Radius: 5, Retries: 3, RetryDelay: time.Millisecond}, nil)
+	sink := &transientSink{failPerPage: 2}
+	stats, err := cr.Stream(context.Background(), url, "Amery", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.accepted) != 9 || stats.Fetched != 9 || stats.Failed != 0 {
+		t.Fatalf("delivered %d pages, stats %+v; want all 9 after retries", len(sink.accepted), stats)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("transient sink failures must count as retries")
+	}
+}
+
+func TestStreamShedsPageWhenTransientRetriesExhaust(t *testing.T) {
+	// One page stays overloaded past every retry: the crawl sheds it like
+	// a failed fetch and keeps going instead of aborting the whole stream.
+	_, url := serve(t, blog.Figure1Corpus())
+	cr := New(Config{Workers: 2, Radius: 5, Retries: 2, RetryDelay: time.Millisecond}, nil)
+	sink := &transientSink{alwaysFail: map[blog.BloggerID]bool{"Helen": true}}
+	stats, err := cr.Stream(context.Background(), url, "Amery", sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shedding behaves exactly like a failed fetch: Helen counts once in
+	// Failed and her unexpanded neighbors stay out of the frontier.
+	if stats.Failed != 1 || stats.Fetched != len(sink.accepted) || stats.Fetched == 0 {
+		t.Fatalf("stats = %+v (accepted %d), want exactly Helen shed", stats, len(sink.accepted))
+	}
+	for _, p := range sink.accepted {
+		if p.Blogger.ID == "Helen" {
+			t.Fatal("shed page leaked into the sink")
+		}
+	}
+	if sink.attempts["Helen"] != 3 {
+		t.Fatalf("Helen attempted %d times, want 1 + 2 retries", sink.attempts["Helen"])
 	}
 }

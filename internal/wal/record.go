@@ -86,6 +86,14 @@ func (w *Batch) Link(from, to blog.BloggerID) {
 	}
 }
 
+// Append stages an already-built op verbatim — the replay path, where ops
+// decoded from one log are re-staged into another.
+func (w *Batch) Append(op Op) {
+	if w != nil {
+		w.ops = append(w.ops, op)
+	}
+}
+
 // Len reports how many ops are staged.
 func (w *Batch) Len() int {
 	if w == nil {

@@ -300,6 +300,47 @@ func (l *Log) Err() error {
 	return l.failed
 }
 
+// Reset truncates the log: every segment and snapshot file in the
+// directory is removed and a fresh segment opens at the next index, so
+// record indexes stay monotonic across the reset. The spill queue uses it
+// to discard records that have been replayed into their destination —
+// they are durable there now, and replaying them again on the next boot
+// would be wasted (if harmless, thanks to idempotent replay) work.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.f.Close(); err != nil {
+		l.failed = fmt.Errorf("wal: close segment: %w", err)
+		return l.failed
+	}
+	names, err := l.opts.FS.ReadDir(l.opts.Dir)
+	if err != nil {
+		l.failed = fmt.Errorf("wal: reset: %w", err)
+		return l.failed
+	}
+	for _, name := range names {
+		if err := l.opts.FS.Remove(filepath.Join(l.opts.Dir, name)); err != nil {
+			l.failed = fmt.Errorf("wal: reset: %w", err)
+			return l.failed
+		}
+	}
+	l.hasSnap = false
+	l.snapIdx = 0
+	l.dirty = false
+	l.unsynced = 0
+	if err := l.openSegmentLocked(l.next); err != nil {
+		l.failed = err
+		return err
+	}
+	return nil
+}
+
 // Close syncs and closes the log. Further appends fail.
 func (l *Log) Close() error {
 	if l.quit != nil {
